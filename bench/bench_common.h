@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table bench binaries: each binary
+ * prints its paper table once (paper value next to measured value),
+ * then times the experiment under google-benchmark with a bounded
+ * iteration count (the experiments run whole simulations, so a
+ * handful of iterations is plenty for stable numbers).
+ */
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+/** Print the rendered table followed by a blank line. */
+inline void
+printTable(const std::string &table)
+{
+    std::fputs(table.c_str(), stdout);
+    std::fputs("\n", stdout);
+}
+
+/** Standard main: print the table, then run the benchmarks. */
+#define MIPS82_BENCH_MAIN(print_expr)                                  \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        printTable(print_expr);                                        \
+        benchmark::Initialize(&argc, argv);                            \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))        \
+            return 1;                                                  \
+        benchmark::RunSpecifiedBenchmarks();                           \
+        return 0;                                                      \
+    }

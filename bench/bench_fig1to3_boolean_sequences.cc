@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figures 1-3: the generated code sequences for the paper's running
+ * example `Found := (Rec = Key) OR (I = 13)` under all four styles,
+ * with static and average dynamic instruction counts.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Figures1to3(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFigures1to3());
+}
+BENCHMARK(BM_Figures1to3)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+MIPS82_BENCH_MAIN(runFigures1to3())

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 4: a code fragment through the reorganizer — legal code,
+ * the pure no-op lowering, and the reorganized/packed/delay-filled
+ * result.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Figure4(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFigure4());
+}
+BENCHMARK(BM_Figure4)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+MIPS82_BENCH_MAIN(runFigure4())

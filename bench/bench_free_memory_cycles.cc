@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Section 3.1's free-memory-cycle study: the fraction of data-memory
+ * bandwidth left idle by executing programs (the paper measured close
+ * to 40% wasted; the status pin exposes these cycles for DMA, I/O,
+ * and cache write-backs).
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_FreeCycles(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runFreeCycles());
+}
+BENCHMARK(BM_FreeCycles)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+MIPS82_BENCH_MAIN(runFreeCycles().table)

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Component throughput benchmarks: these time the infrastructure
+ * itself (simulator cycles/second, reorganizer blocks/second,
+ * assembler and compiler throughput) rather than reproducing a paper
+ * table. Useful for tracking regressions in the tooling.
+ */
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "plc/driver.h"
+#include "reorg/reorganizer.h"
+#include "sim/machine.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using mips::assembler::Program;
+
+/** A busy loop for raw simulator speed. */
+Program
+busyLoop()
+{
+    return mips::assembler::assembleOrDie(
+        "  ldi #100000, r1\n"
+        "loop: sub r1, #1, r1\n"
+        "  st r1, @500\n"
+        "  bgt r1, #0, loop\n"
+        "  nop\n"
+        "  halt\n");
+}
+
+void
+BM_PipelineSimulator(benchmark::State &state)
+{
+    Program prog = busyLoop();
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        mips::sim::Machine machine;
+        machine.load(prog);
+        machine.cpu().run(10'000'000);
+        cycles += machine.cpu().stats().cycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineSimulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulator(benchmark::State &state)
+{
+    Program prog = busyLoop();
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        mips::sim::FunctionalRun run = mips::sim::runFunctional(prog);
+        instructions += run.cpu->instructions();
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    // Assemble the compiler-generated Puzzle source each iteration.
+    auto exe = mips::plc::buildExecutable(
+        mips::workload::puzzle0Program().source);
+    std::string text = exe.value().asm_text;
+    for (auto _ : state) {
+        auto prog = mips::assembler::assemble(text);
+        benchmark::DoNotOptimize(prog.ok());
+    }
+    state.counters["lines"] = static_cast<double>(
+        std::count(text.begin(), text.end(), '\n'));
+}
+BENCHMARK(BM_Assembler)->Unit(benchmark::kMillisecond);
+
+void
+BM_Reorganizer(benchmark::State &state)
+{
+    auto compiled = mips::plc::compile(
+        mips::workload::puzzle0Program().source);
+    const mips::assembler::Unit &unit = compiled.value().unit;
+    for (auto _ : state) {
+        auto result = mips::reorg::reorganize(unit);
+        benchmark::DoNotOptimize(result.stats.output_words);
+    }
+    state.counters["words"] =
+        static_cast<double>(unit.items.size());
+}
+BENCHMARK(BM_Reorganizer)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompilerEndToEnd(benchmark::State &state)
+{
+    const char *source = mips::workload::puzzle0Program().source;
+    for (auto _ : state) {
+        auto exe = mips::plc::buildExecutable(source);
+        benchmark::DoNotOptimize(exe.ok());
+    }
+}
+BENCHMARK(BM_CompilerEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

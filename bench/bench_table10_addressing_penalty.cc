@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 10: total load/store cost on the word-addressed MIPS versus
+ * a byte-addressed MIPS, with the byte-addressing penalty swept over
+ * the paper's overhead range (plus the zero-overhead crossover).
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table10(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable10(0.15));
+}
+BENCHMARK(BM_Table10)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+int
+main(int argc, char **argv)
+{
+    printTable(runTable10(0.15).table);
+    printTable(runTable10(0.20).table);
+    std::puts("Crossover check: with zero hardware overhead, byte "
+              "addressing wins:");
+    printTable(runTable10(0.0).table);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

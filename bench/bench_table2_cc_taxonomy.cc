@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Table 2: the condition-code taxonomy (qualitative matrix).
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table2(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable2());
+}
+BENCHMARK(BM_Table2)->Iterations(100);
+
+MIPS82_BENCH_MAIN(runTable2())

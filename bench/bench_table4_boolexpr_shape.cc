@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates the paper table printed below and times the experiment.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table4(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable4());
+}
+BENCHMARK(BM_Table4)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+MIPS82_BENCH_MAIN(runTable4().table)

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Table 5: compare/register/branch operations per boolean operator
+ * under the four architectural styles.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table5(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable5());
+}
+BENCHMARK(BM_Table5)->Unit(benchmark::kMillisecond)->Iterations(10);
+
+MIPS82_BENCH_MAIN(runTable5().table)

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 6: weighted cost of boolean-expression evaluation under the
+ * measured expression mix and under the paper's published mix.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table6(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable6());
+}
+BENCHMARK(BM_Table6)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+int
+main(int argc, char **argv)
+{
+    printTable(runTable6(false).table);
+    std::puts("With the paper's published mix "
+              "(1.66 ops/expr, 80.9% jumps):");
+    printTable(runTable6(true).table);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 9: cycle cost of byte and word operations, swept over the
+ * paper's 15-20% byte-addressing hardware-overhead estimate.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_Table9(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTable9(0.15));
+}
+BENCHMARK(BM_Table9)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+int
+main(int argc, char **argv)
+{
+    printTable(runTable9(0.15).table);
+    printTable(runTable9(0.20).table);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The condition-code study, interactively: generates code for boolean
+ * expressions under all four architectural styles (Figures 1-3) and
+ * prints static and expected dynamic instruction counts, ending with
+ * the Table 6 cost comparison.
+ */
+#include <cstdio>
+
+#include "ccm/cost.h"
+
+namespace {
+
+void
+show(const mips::ccm::BoolExpr &expr)
+{
+    using namespace mips::ccm;
+    std::printf("expression: %s\n\n", exprToString(expr).c_str());
+    for (Style style : {Style::SET_CONDITIONALLY, Style::CC_COND_SET,
+                        Style::CC_BRANCH_FULL,
+                        Style::CC_BRANCH_EARLY_OUT}) {
+        for (Context ctx : {Context::STORE, Context::JUMP}) {
+            CcProgram prog = generate(expr, style, ctx);
+            ClassCounts dyn = expectedDynamicCounts(prog, expr);
+            std::printf("--- %s, %s context ---\n",
+                        styleName(style).c_str(),
+                        ctx == Context::STORE ? "store" : "jump");
+            std::fputs(prog.listing().c_str(), stdout);
+            std::printf("    static %d, avg executed %.2f "
+                        "(%.2f compares, %.2f register, %.2f "
+                        "branches)\n\n",
+                        prog.staticCount(), dyn.total(), dyn.compare,
+                        dyn.reg, dyn.branch);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mips::ccm;
+
+    std::puts("=== the paper's example: "
+              "Found := (Rec = Key) OR (I = 13) ===\n");
+    show(*paperExample());
+
+    std::puts("=== a compound expression: "
+              "NOT ((a < 10) AND ((b = 1) OR (c > 0))) ===\n");
+    BoolExprPtr compound = makeNot(makeAnd(
+        makeLeafConst("a", mips::isa::Cond::LT, 10),
+        makeOr(makeLeafConst("b", mips::isa::Cond::EQ, 1),
+               makeLeafConst("c", mips::isa::Cond::GT, 0))));
+    show(*compound);
+
+    std::puts("=== Table 6 costs under the paper's mix ===");
+    for (Style style : {Style::SET_CONDITIONALLY, Style::CC_COND_SET,
+                        Style::CC_BRANCH_FULL,
+                        Style::CC_BRANCH_EARLY_OUT}) {
+        Table6Entry entry = table6Entry(style);
+        std::printf("%-36s store %5.1f  jump %5.1f  total %5.1f\n",
+                    styleName(style).c_str(), entry.store_cost,
+                    entry.jump_cost, entry.total_cost);
+    }
+    return 0;
+}

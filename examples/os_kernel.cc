@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A miniature operating system on the Section 3 machinery: the
+ * surprise-register dispatch ROM at address zero, demand paging
+ * through the bus-programmed off-chip map, the on-chip segmentation
+ * unit (PID insertion), two privilege levels, and monitor calls.
+ *
+ * The kernel boots in supervisor mode, installs the user program's
+ * code page, configures segmentation for PID 1, and drops to user
+ * mode with RFE. The user program touches three data pages (each
+ * touch demand-faults; the kernel allocates a frame and installs it
+ * on the fly) and prints through a putchar monitor call, because user
+ * code cannot reach the console device directly.
+ */
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "reorg/reorganizer.h"
+#include "sim/machine.h"
+
+namespace {
+
+mips::assembler::Program
+buildImage(const char *source)
+{
+    auto unit = mips::assembler::parse(source);
+    if (!unit.ok()) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     unit.error().str().c_str());
+        std::exit(1);
+    }
+    auto reorganized = mips::reorg::reorganize(unit.value());
+    return mips::assembler::link(reorganized.unit).take();
+}
+
+/** Exception dispatch ROM at physical 0 (never paged, Section 3.3). */
+const char *const kRom = R"(
+        st r1, @0x300           ; save the registers we use
+        st r2, @0x301
+        st r3, @0x302
+        mfs sr, r1
+        srl r1, #12, r2
+        and r2, #15, r2         ; exception cause field
+        beq r2, #5, pf          ; PAGE_FAULT
+        beq r2, #3, svc         ; TRAP (monitor call)
+        halt                    ; anything else: panic
+
+; -- demand pager: allocate the next frame, program the bus map -------
+pf:     mfs fault, r1           ; faulting system virtual address
+        srl r1, #10, r1
+        sll r1, #10, r1         ; page base
+        ld @0x310, r2           ; next free frame number
+        add r2, #1, r3
+        st r3, @0x310
+        li #0xff005, r3         ; MAP_SVA
+        st r1, (r3)
+        li #0xff006, r3         ; MAP_INSTALL
+        st r2, (r3)
+        ld @0x312, r1           ; fault counter (for the demo)
+        add r1, #1, r1
+        st r1, @0x312
+        bra out
+
+; -- monitor calls: trap #1 = putchar(r10), trap #2 = exit ------------
+svc:    srl r1, #12, r2         ; trap code sits at bits [27:16]
+        srl r2, #4, r2          ; (shift amounts are 4-bit fields)
+        and r2, #15, r2
+        beq r2, #2, exit
+        li #0xff000, r3         ; console (supervisor only)
+        st r10, (r3)
+        bra out
+exit:   halt
+
+out:    ld @0x302, r3
+        ld @0x301, r2
+        ld @0x300, r1
+        rfe
+)";
+
+/** Kernel boot code (physical 0x800). */
+const char *const kBoot = R"(
+.org 0x800
+        movi #32, r1            ; frame allocator starts at frame 32
+        st r1, @0x310
+        movi #0, r1
+        st r1, @0x312           ; page-fault counter
+        movi #32, r2            ; sva of user page 0 = pid 1 << 20
+        sll r2, #15, r2         ; (32 << 15 = 0x100000)
+        li #0xff005, r3
+        st r2, (r3)
+        movi #16, r2            ; user code preloaded in frame 16
+        li #0xff006, r3
+        st r2, (r3)
+        movi #4, r2             ; segmentation: 4 masked bits,
+        mts r2, segbits
+        movi #1, r2             ; process id 1
+        mts r2, segpid
+        movi #0, r2             ; resume stream: user vaddr 0, 1, 2
+        mts r2, ra0
+        movi #1, r2
+        mts r2, ra1
+        movi #2, r2
+        mts r2, ra2
+        movi #0x81, r2          ; SR: supervisor now; previous bits =
+        mts r2, sr              ; user mode with mapping enabled
+        rfe                     ; drop to user space
+)";
+
+/** The user program (virtual address 0, demand-paged data). */
+const char *const kUser = R"(
+        movi #0, r3             ; page index
+        li #0x2000, r2          ; data pointer (unmapped until touched)
+        li #0x400, r5           ; one page of words
+uloop:  st r3, (r2)             ; first touch faults the page in
+        ld (r2), r4
+        movi #'a', r10
+        add r10, r4, r10        ; 'a' + value read back
+        trap #1                 ; putchar
+        add r2, r5, r2
+        add r3, #1, r3
+        blt r3, #3, uloop
+        trap #2                 ; exit
+)";
+
+} // namespace
+
+int
+main()
+{
+    mips::sim::Machine machine;
+
+    mips::assembler::Program rom = buildImage(kRom);
+    mips::assembler::Program boot = buildImage(kBoot);
+    mips::assembler::Program user = buildImage(kUser);
+    machine.memory().loadImage(rom.origin, rom.image);
+    machine.memory().loadImage(boot.origin, boot.image);
+    machine.memory().loadImage(0x4000, user.image); // frame 16
+
+    machine.cpu().reset(0x800);
+    mips::sim::StopReason reason = machine.cpu().run(1'000'000);
+    if (reason != mips::sim::StopReason::HALT) {
+        std::fprintf(stderr, "kernel panic: %s\n",
+                     machine.cpu().errorMessage().c_str());
+        return 1;
+    }
+
+    uint32_t faults = machine.memory().peek(0x312);
+    std::printf("user program printed:   %s\n",
+                machine.memory().consoleOutput().c_str());
+    std::printf("demand page faults:     %u (kernel counter)\n",
+                faults);
+    std::printf("mapping-unit faults:    %llu of %llu translations\n",
+                static_cast<unsigned long long>(
+                    machine.mapping().faults()),
+                static_cast<unsigned long long>(
+                    machine.mapping().translations()));
+    std::printf("resident page entries:  %zu\n",
+                machine.mapping().pageCount());
+    std::printf("exceptions taken:       %llu\n",
+                static_cast<unsigned long long>(
+                    machine.cpu().stats().exceptions));
+
+    bool ok = machine.memory().consoleOutput() == "abc" && faults == 3;
+    std::printf("%s\n", ok ? "OK: three pages demand-faulted, "
+                             "user output correct"
+                           : "MISMATCH");
+    return ok ? 0 : 1;
+}

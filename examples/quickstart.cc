@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: assemble a small program as *legal code*, run it on the
+ * interlocked reference machine, then reorganize it for the real
+ * (interlock-free) pipeline and run it there — the library's central
+ * workflow in ~60 lines.
+ */
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "reorg/reorganizer.h"
+#include "sim/machine.h"
+
+int
+main()
+{
+    // Legal code: written for a machine with interlocks. Note the
+    // load-use and branch sequences carry no no-ops and no delay
+    // slots — the reorganizer supplies pipeline correctness.
+    const char *source =
+        "; sum of squares 1..10, plus a byte extracted from a word\n"
+        "        movi #0, r1          ; sum\n"
+        "        movi #1, r2          ; i\n"
+        "loop:   mov r2, r10\n"
+        "        mov r2, r11\n"
+        "        movi #0, r3\n"
+        "mul:    beq r11, #0, done\n"
+        "        bevn r11, #0, skip\n"
+        "        add r3, r10, r3\n"
+        "skip:   sll r10, #1, r10\n"
+        "        srl r11, #1, r11\n"
+        "        bra mul\n"
+        "done:   add r1, r3, r1\n"
+        "        add r2, #1, r2\n"
+        "        ble r2, #10, loop\n"
+        "        st r1, @500\n"
+        "        ld @500, r4          ; reload (load-use hazard!)\n"
+        "        xc r0, r4, r5        ; low byte of the sum\n"
+        "        halt\n";
+
+    auto unit = mips::assembler::parse(source);
+    if (!unit.ok()) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     unit.error().str().c_str());
+        return 1;
+    }
+
+    // 1. The interlocked reference machine runs legal code directly.
+    auto legal = mips::assembler::link(unit.value());
+    mips::sim::FunctionalRun reference =
+        mips::sim::runFunctional(legal.value());
+    std::printf("reference machine:  sum = %u (in %llu instructions)\n",
+                reference.cpu->reg(1),
+                static_cast<unsigned long long>(
+                    reference.cpu->instructions()));
+
+    // 2. The reorganizer schedules for the pipeline: no interlocks in
+    // hardware, so hazards are covered by code motion and no-ops.
+    mips::reorg::ReorgResult reorganized =
+        mips::reorg::reorganize(unit.value());
+    std::printf("reorganizer:        %zu -> %zu words "
+                "(%zu no-ops, %zu packed, %zu slots filled)\n",
+                reorganized.stats.input_words,
+                reorganized.stats.output_words,
+                reorganized.stats.noops_inserted,
+                reorganized.stats.packed_words,
+                reorganized.stats.slots_filled_move +
+                    reorganized.stats.slots_filled_dup +
+                    reorganized.stats.slots_filled_hoist);
+
+    mips::sim::Machine machine;
+    machine.load(mips::assembler::link(reorganized.unit).value());
+    if (machine.cpu().run() != mips::sim::StopReason::HALT) {
+        std::fprintf(stderr, "pipeline error: %s\n",
+                     machine.cpu().errorMessage().c_str());
+        return 1;
+    }
+    const mips::sim::CpuStats &stats = machine.cpu().stats();
+    std::printf("pipeline machine:   sum = %u, low byte = %u\n",
+                machine.cpu().reg(1), machine.cpu().reg(5));
+    std::printf("                    %llu cycles, %.1f%% of data "
+                "bandwidth free\n",
+                static_cast<unsigned long long>(stats.cycles),
+                stats.freeBandwidth() * 100.0);
+
+    bool ok = machine.cpu().reg(1) == reference.cpu->reg(1) &&
+              machine.cpu().reg(1) == 385;
+    std::printf("%s\n", ok ? "OK: both machines agree (385)"
+                           : "MISMATCH");
+    return ok ? 0 : 1;
+}

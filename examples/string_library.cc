@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Byte processing on a word-addressed machine (Section 4.1): a small
+ * string library — strlen, strupper, strcopy — written with byte
+ * pointers (word address * 4 + byte offset), the base-shifted
+ * addressing mode, and the insert/extract-byte instructions, exactly
+ * the support the paper argues makes word addressing viable.
+ */
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "reorg/reorganizer.h"
+#include "sim/machine.h"
+
+int
+main()
+{
+    const char *source = R"(
+; ---- main -----------------------------------------------------------
+        la src, r1
+        sll r1, #2, r1          ; word address -> byte pointer
+        call strupper, r15
+        la src, r1
+        sll r1, #2, r1
+        la dst, r2
+        sll r2, #2, r2
+        call strcopy, r15
+        la dst, r2              ; print the copy
+        sll r2, #2, r2
+        li #0xff000, r7         ; console
+print:  ld (r0+r2>>2), r4
+        xc r2, r4, r5
+        beq r5, #0, fin
+        st r5, (r7)
+        add r2, #1, r2
+        bra print
+fin:    la src, r1
+        sll r1, #2, r1
+        call strlen, r15        ; r2 = length
+        halt
+
+; ---- strlen: r1 = byte ptr -> r2 = length ----------------------------
+strlen: movi #0, r2
+len1:   add r1, r2, r3
+        ld (r0+r3>>2), r4
+        xc r3, r4, r4
+        beq r4, #0, len2
+        add r2, #1, r2
+        bra len1
+len2:   jmp (r15)
+
+; ---- strupper: uppercase a..z in place, r1 = byte ptr ----------------
+strupper:
+up1:    ld (r0+r1>>2), r4
+        xc r1, r4, r5
+        beq r5, #0, up3
+        movi #97, r6            ; 'a'
+        blt r5, r6, up2
+        movi #122, r6           ; 'z'
+        bgt r5, r6, up2
+        movi #32, r6
+        sub r5, r6, r5
+        mtlo r1
+        ic r5, r4
+        st r4, (r0+r1>>2)
+up2:    add r1, #1, r1
+        bra up1
+up3:    jmp (r15)
+
+; ---- strcopy: r1 = src byte ptr, r2 = dst byte ptr -------------------
+strcopy:
+cp1:    ld (r0+r1>>2), r4
+        xc r1, r4, r5
+        ld (r0+r2>>2), r6       ; read-modify-write of the dst word
+        mtlo r2
+        ic r5, r6
+        st r6, (r0+r2>>2)
+        beq r5, #0, cp2
+        add r1, #1, r1
+        add r2, #1, r2
+        bra cp1
+cp2:    jmp (r15)
+
+src:    .asciiw "hello, word-addressed world!"
+dst:    .space 10
+)";
+
+    auto unit = mips::assembler::parse(source);
+    if (!unit.ok()) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     unit.error().str().c_str());
+        return 1;
+    }
+    mips::reorg::ReorgResult reorganized =
+        mips::reorg::reorganize(unit.value());
+
+    mips::sim::Machine machine;
+    machine.load(mips::assembler::link(reorganized.unit).value());
+    if (machine.cpu().run() != mips::sim::StopReason::HALT) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     machine.cpu().errorMessage().c_str());
+        return 1;
+    }
+
+    std::printf("uppercased copy: %s\n",
+                machine.memory().consoleOutput().c_str());
+    std::printf("strlen:          %u\n", machine.cpu().reg(2));
+    std::printf("byte loads+stores executed: %llu loads, %llu stores "
+                "over %llu cycles\n",
+                static_cast<unsigned long long>(
+                    machine.cpu().stats().loads),
+                static_cast<unsigned long long>(
+                    machine.cpu().stats().stores),
+                static_cast<unsigned long long>(
+                    machine.cpu().stats().cycles));
+
+    bool ok = machine.memory().consoleOutput() ==
+                  "HELLO, WORD-ADDRESSED WORLD!" &&
+              machine.cpu().reg(2) == 28;
+    std::printf("%s\n", ok ? "OK" : "MISMATCH");
+    return ok ? 0 : 1;
+}

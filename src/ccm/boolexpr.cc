@@ -1,0 +1,185 @@
+#include "ccm/boolexpr.h"
+
+#include "support/logging.h"
+
+namespace mips::ccm {
+
+int
+BoolExpr::operatorCount() const
+{
+    switch (kind) {
+      case Kind::LEAF:
+        return 0;
+      case Kind::NOT:
+        return 1 + lhs->operatorCount();
+      default:
+        return 1 + lhs->operatorCount() + rhs->operatorCount();
+    }
+}
+
+int
+BoolExpr::leafCount() const
+{
+    switch (kind) {
+      case Kind::LEAF:
+        return 1;
+      case Kind::NOT:
+        return lhs->leafCount();
+      default:
+        return lhs->leafCount() + rhs->leafCount();
+    }
+}
+
+void
+BoolExpr::collectLeaves(std::vector<const Leaf *> *out) const
+{
+    switch (kind) {
+      case Kind::LEAF:
+        out->push_back(&leaf);
+        break;
+      case Kind::NOT:
+        lhs->collectLeaves(out);
+        break;
+      default:
+        lhs->collectLeaves(out);
+        rhs->collectLeaves(out);
+        break;
+    }
+}
+
+bool
+BoolExpr::eval(const std::map<std::string, int32_t> &env) const
+{
+    auto lookup = [&env](const std::string &name) {
+        auto it = env.find(name);
+        if (it == env.end())
+            support::panic("BoolExpr::eval: unbound variable '%s'",
+                           name.c_str());
+        return it->second;
+    };
+    switch (kind) {
+      case Kind::LEAF: {
+        int32_t a = lookup(leaf.var);
+        int32_t b = leaf.rhs_is_const ? leaf.rhs_const
+                                      : lookup(leaf.rhs_var);
+        return isa::evalCond(leaf.rel, static_cast<uint32_t>(a),
+                             static_cast<uint32_t>(b));
+      }
+      case Kind::AND:
+        return lhs->eval(env) && rhs->eval(env);
+      case Kind::OR:
+        return lhs->eval(env) || rhs->eval(env);
+      case Kind::NOT:
+        return !lhs->eval(env);
+    }
+    support::panic("BoolExpr::eval: bad kind");
+}
+
+BoolExprPtr
+makeLeaf(std::string var, isa::Cond rel, std::string rhs)
+{
+    auto e = std::make_unique<BoolExpr>();
+    e->kind = BoolExpr::Kind::LEAF;
+    e->leaf.var = std::move(var);
+    e->leaf.rel = rel;
+    e->leaf.rhs_var = std::move(rhs);
+    return e;
+}
+
+BoolExprPtr
+makeLeafConst(std::string var, isa::Cond rel, int32_t rhs)
+{
+    auto e = std::make_unique<BoolExpr>();
+    e->kind = BoolExpr::Kind::LEAF;
+    e->leaf.var = std::move(var);
+    e->leaf.rel = rel;
+    e->leaf.rhs_is_const = true;
+    e->leaf.rhs_const = rhs;
+    return e;
+}
+
+BoolExprPtr
+makeAnd(BoolExprPtr l, BoolExprPtr r)
+{
+    auto e = std::make_unique<BoolExpr>();
+    e->kind = BoolExpr::Kind::AND;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+BoolExprPtr
+makeOr(BoolExprPtr l, BoolExprPtr r)
+{
+    auto e = std::make_unique<BoolExpr>();
+    e->kind = BoolExpr::Kind::OR;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+BoolExprPtr
+makeNot(BoolExprPtr e)
+{
+    auto n = std::make_unique<BoolExpr>();
+    n->kind = BoolExpr::Kind::NOT;
+    n->lhs = std::move(e);
+    return n;
+}
+
+BoolExprPtr
+clone(const BoolExpr &e)
+{
+    auto out = std::make_unique<BoolExpr>();
+    out->kind = e.kind;
+    out->leaf = e.leaf;
+    if (e.lhs)
+        out->lhs = clone(*e.lhs);
+    if (e.rhs)
+        out->rhs = clone(*e.rhs);
+    return out;
+}
+
+BoolExprPtr
+paperExample()
+{
+    return makeOr(makeLeaf("Rec", isa::Cond::EQ, "Key"),
+                  makeLeafConst("I", isa::Cond::EQ, 13));
+}
+
+BoolExprPtr
+orChain(int operators)
+{
+    if (operators < 0)
+        support::panic("orChain: negative operator count");
+    BoolExprPtr e = makeLeafConst("v0", isa::Cond::EQ, 10);
+    for (int i = 1; i <= operators; ++i) {
+        e = makeOr(std::move(e),
+                   makeLeafConst(support::strprintf("v%d", i),
+                                 isa::Cond::EQ, 10 + i));
+    }
+    return e;
+}
+
+std::string
+exprToString(const BoolExpr &e)
+{
+    switch (e.kind) {
+      case BoolExpr::Kind::LEAF: {
+        std::string rhs = e.leaf.rhs_is_const
+            ? support::strprintf("%d", e.leaf.rhs_const)
+            : e.leaf.rhs_var;
+        return "(" + e.leaf.var + " " +
+               isa::condName(e.leaf.rel) + " " + rhs + ")";
+      }
+      case BoolExpr::Kind::AND:
+        return exprToString(*e.lhs) + " AND " + exprToString(*e.rhs);
+      case BoolExpr::Kind::OR:
+        return exprToString(*e.lhs) + " OR " + exprToString(*e.rhs);
+      case BoolExpr::Kind::NOT:
+        return "NOT " + exprToString(*e.lhs);
+    }
+    support::panic("exprToString: bad kind");
+}
+
+} // namespace mips::ccm

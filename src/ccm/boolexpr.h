@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Boolean-expression ASTs for the condition-code study (Section 2.3).
+ *
+ * The paper's running example is
+ *     Found := (Rec = Key) OR (I = 13);
+ * Expressions here are trees of AND/OR/NOT over *leaf comparisons* of
+ * integer variables. The code generators in codegen.h lower the same
+ * tree under four architectural styles; the executor computes dynamic
+ * instruction counts by enumerating leaf outcomes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/cond.h"
+
+namespace mips::ccm {
+
+/** A leaf comparison: variable REL (variable | constant). */
+struct Leaf
+{
+    std::string var;
+    isa::Cond rel = isa::Cond::EQ;
+    bool rhs_is_const = false;
+    std::string rhs_var;
+    int32_t rhs_const = 0;
+};
+
+/** Expression tree node. */
+struct BoolExpr
+{
+    enum class Kind { LEAF, AND, OR, NOT };
+
+    Kind kind = Kind::LEAF;
+    Leaf leaf;                      ///< LEAF
+    std::unique_ptr<BoolExpr> lhs;  ///< AND/OR/NOT
+    std::unique_ptr<BoolExpr> rhs;  ///< AND/OR
+
+    /** Number of boolean operators (AND/OR/NOT) in the tree. */
+    int operatorCount() const;
+
+    /** Number of leaf comparisons. */
+    int leafCount() const;
+
+    /** Collect pointers to the leaves, left to right. */
+    void collectLeaves(std::vector<const Leaf *> *out) const;
+
+    /** Evaluate under a variable environment. */
+    bool eval(const std::map<std::string, int32_t> &env) const;
+};
+
+using BoolExprPtr = std::unique_ptr<BoolExpr>;
+
+/** Builders. */
+BoolExprPtr makeLeaf(std::string var, isa::Cond rel, std::string rhs);
+BoolExprPtr makeLeafConst(std::string var, isa::Cond rel, int32_t rhs);
+BoolExprPtr makeAnd(BoolExprPtr l, BoolExprPtr r);
+BoolExprPtr makeOr(BoolExprPtr l, BoolExprPtr r);
+BoolExprPtr makeNot(BoolExprPtr e);
+
+/** Deep copy. */
+BoolExprPtr clone(const BoolExpr &e);
+
+/** The paper's example: (Rec = Key) OR (I = 13). */
+BoolExprPtr paperExample();
+
+/**
+ * A canonical OR-chain with `operators` operators (operators+1 leaves),
+ * each leaf comparing a distinct variable with a distinct constant so
+ * that leaf outcomes are independent.
+ */
+BoolExprPtr orChain(int operators);
+
+/** Render as source text, e.g. "(Rec = Key) OR (I = 13)". */
+std::string exprToString(const BoolExpr &e);
+
+} // namespace mips::ccm

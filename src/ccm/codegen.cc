@@ -1,0 +1,719 @@
+#include "ccm/codegen.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace mips::ccm {
+
+using isa::Cond;
+using support::strprintf;
+
+std::string
+styleName(Style style)
+{
+    switch (style) {
+      case Style::SET_CONDITIONALLY:   return "Set conditionally/no CC";
+      case Style::CC_COND_SET:         return "CC/conditional set";
+      case Style::CC_BRANCH_FULL:      return "CC with only branch";
+      case Style::CC_BRANCH_EARLY_OUT: return "CC with only branch "
+                                              "(early-out)";
+    }
+    support::panic("styleName: bad style");
+}
+
+namespace {
+
+std::string
+leafStr(const Leaf &leaf)
+{
+    std::string rhs = leaf.rhs_is_const
+        ? strprintf("#%d", leaf.rhs_const) : leaf.rhs_var;
+    return leaf.var + ", " + rhs;
+}
+
+std::string
+regStr(int r)
+{
+    return strprintf("r%d", r);
+}
+
+} // namespace
+
+std::string
+CcInst::str() const
+{
+    switch (op) {
+      case Op::LOAD_CONST:
+        return strprintf("str #%d, %s", constant, regStr(rd).c_str());
+      case Op::MOVE:
+        return strprintf("mov %s, %s", regStr(rs).c_str(),
+                         regStr(rd).c_str());
+      case Op::ALU:
+        if (rt < 0) {
+            return strprintf("xor %s, #1, %s",
+                             regStr(rs).c_str(), regStr(rd).c_str());
+        }
+        return strprintf("%s %s, %s, %s",
+                         alu == '|' ? "or" : alu == '&' ? "and" : "xor",
+                         regStr(rs).c_str(), regStr(rt).c_str(),
+                         regStr(rd).c_str());
+      case Op::STORE_VAR:
+        return strprintf("str %s, %s", regStr(rs).c_str(), var.c_str());
+      case Op::COMPARE:
+        return "cmp " + leafStr(cmp);
+      case Op::TEST:
+        return strprintf("tst %s", regStr(rs).c_str());
+      case Op::SET_COND:
+        return strprintf("s%s %s", isa::condName(rel).c_str(),
+                         regStr(rd).c_str());
+      case Op::SET_FULL:
+        return strprintf("set%s %s, %s", isa::condName(rel).c_str(),
+                         leafStr(cmp).c_str(), regStr(rd).c_str());
+      case Op::BRANCH_CC:
+        return strprintf("b%s L%d", isa::condName(rel).c_str(), label);
+      case Op::CMP_BRANCH:
+        if (rs >= 0) {
+            return strprintf("b%s %s, #0, L%d",
+                             isa::condName(rel).c_str(),
+                             regStr(rs).c_str(), label);
+        }
+        return strprintf("b%s %s, L%d", isa::condName(rel).c_str(),
+                         leafStr(cmp).c_str(), label);
+      case Op::BRANCH_ALWAYS:
+        return strprintf("bra L%d", label);
+      case Op::LABEL:
+        return strprintf("L%d:", label);
+    }
+    support::panic("CcInst::str: bad op");
+}
+
+int
+CcProgram::staticCount() const
+{
+    int n = 0;
+    for (const CcInst &inst : insts)
+        if (inst.op != CcInst::Op::LABEL)
+            ++n;
+    return n;
+}
+
+int
+CcProgram::staticCount(CcClass cls) const
+{
+    int n = 0;
+    for (const CcInst &inst : insts)
+        if (inst.op != CcInst::Op::LABEL && inst.cls == cls)
+            ++n;
+    return n;
+}
+
+std::string
+CcProgram::listing() const
+{
+    std::string out;
+    for (const CcInst &inst : insts) {
+        if (inst.op == CcInst::Op::LABEL)
+            out += inst.str() + "\n";
+        else
+            out += "    " + inst.str() + "\n";
+    }
+    return out;
+}
+
+namespace {
+
+/** Shared emission machinery for the four generators. */
+class Gen
+{
+  public:
+    explicit Gen(Style style, Context context)
+    {
+        prog_.style = style;
+        prog_.context = context;
+    }
+
+    CcProgram
+    take()
+    {
+        return std::move(prog_);
+    }
+
+    int freshReg() { return next_reg_++; }
+    int freshLabel() { return next_label_++; }
+
+    CcInst &
+    emit(CcInst::Op op, CcClass cls)
+    {
+        CcInst inst;
+        inst.op = op;
+        inst.cls = cls;
+        prog_.insts.push_back(inst);
+        return prog_.insts.back();
+    }
+
+    void
+    emitLabel(int id)
+    {
+        CcInst &inst = emit(CcInst::Op::LABEL, CcClass::REGISTER);
+        inst.label = id;
+    }
+
+    void
+    emitLoadConst(int rd, int32_t value)
+    {
+        CcInst &inst = emit(CcInst::Op::LOAD_CONST, CcClass::REGISTER);
+        inst.rd = rd;
+        inst.constant = value;
+    }
+
+    void
+    emitCompare(const Leaf &leaf)
+    {
+        CcInst &inst = emit(CcInst::Op::COMPARE, CcClass::COMPARE);
+        inst.cmp = leaf;
+    }
+
+    void
+    emitBranchCc(Cond rel, int label)
+    {
+        CcInst &inst = emit(CcInst::Op::BRANCH_CC, CcClass::BRANCH);
+        inst.rel = rel;
+        inst.label = label;
+    }
+
+    void
+    emitAlu(char op, int rs, int rt, int rd)
+    {
+        CcInst &inst = emit(CcInst::Op::ALU, CcClass::REGISTER);
+        inst.alu = op;
+        inst.rs = rs;
+        inst.rt = rt;
+        inst.rd = rd;
+    }
+
+    // ----- SET_CONDITIONALLY -------------------------------------------
+
+    int
+    genMipsValue(const BoolExpr &e)
+    {
+        switch (e.kind) {
+          case BoolExpr::Kind::LEAF: {
+            int rd = freshReg();
+            CcInst &inst = emit(CcInst::Op::SET_FULL, CcClass::COMPARE);
+            inst.cmp = e.leaf;
+            inst.rel = e.leaf.rel;
+            inst.rd = rd;
+            return rd;
+          }
+          case BoolExpr::Kind::AND:
+          case BoolExpr::Kind::OR: {
+            int a = genMipsValue(*e.lhs);
+            int b = genMipsValue(*e.rhs);
+            int rd = freshReg();
+            emitAlu(e.kind == BoolExpr::Kind::AND ? '&' : '|', a, b, rd);
+            return rd;
+          }
+          case BoolExpr::Kind::NOT: {
+            int a = genMipsValue(*e.lhs);
+            int rd = freshReg();
+            emitAlu('^', a, -1, rd); // xor with the constant 1
+            return rd;
+          }
+        }
+        support::panic("genMipsValue: bad kind");
+    }
+
+    // ----- CC_COND_SET ---------------------------------------------------
+
+    int
+    genCondSetValue(const BoolExpr &e)
+    {
+        switch (e.kind) {
+          case BoolExpr::Kind::LEAF: {
+            emitCompare(e.leaf);
+            int rd = freshReg();
+            CcInst &inst = emit(CcInst::Op::SET_COND,
+                                CcClass::REGISTER);
+            inst.rel = e.leaf.rel;
+            inst.rd = rd;
+            return rd;
+          }
+          case BoolExpr::Kind::AND:
+          case BoolExpr::Kind::OR: {
+            int a = genCondSetValue(*e.lhs);
+            int b = genCondSetValue(*e.rhs);
+            int rd = freshReg();
+            emitAlu(e.kind == BoolExpr::Kind::AND ? '&' : '|', a, b, rd);
+            return rd;
+          }
+          case BoolExpr::Kind::NOT: {
+            int a = genCondSetValue(*e.lhs);
+            int rd = freshReg();
+            emitAlu('^', a, -1, rd);
+            return rd;
+          }
+        }
+        support::panic("genCondSetValue: bad kind");
+    }
+
+    // ----- CC_BRANCH_FULL -------------------------------------------------
+
+    /**
+     * Full evaluation on a branch-only CC machine. OR/AND chains of
+     * leaves flatten into a shared accumulator (Figure 1's shape);
+     * mixed trees recurse and combine with ALU ops.
+     */
+    int
+    genFullValue(const BoolExpr &e)
+    {
+        // Chain flattening.
+        if (e.kind == BoolExpr::Kind::OR ||
+            e.kind == BoolExpr::Kind::AND) {
+            std::vector<const BoolExpr *> chain;
+            if (flattenChain(e, e.kind, &chain)) {
+                bool is_or = e.kind == BoolExpr::Kind::OR;
+                int rd = freshReg();
+                emitLoadConst(rd, is_or ? 0 : 1);
+                for (const BoolExpr *leaf_expr : chain) {
+                    const Leaf &leaf = leaf_expr->leaf;
+                    emitCompare(leaf);
+                    int skip = freshLabel();
+                    // OR: skip the set-to-1 when the leaf is false;
+                    // AND: skip the set-to-0 when the leaf is true.
+                    emitBranchCc(is_or ? isa::negateCond(leaf.rel)
+                                       : leaf.rel, skip);
+                    emitLoadConst(rd, is_or ? 1 : 0);
+                    emitLabel(skip);
+                }
+                return rd;
+            }
+        }
+
+        switch (e.kind) {
+          case BoolExpr::Kind::LEAF: {
+            int rd = freshReg();
+            emitLoadConst(rd, 0);
+            emitCompare(e.leaf);
+            int skip = freshLabel();
+            emitBranchCc(isa::negateCond(e.leaf.rel), skip);
+            emitLoadConst(rd, 1);
+            emitLabel(skip);
+            return rd;
+          }
+          case BoolExpr::Kind::AND:
+          case BoolExpr::Kind::OR: {
+            int a = genFullValue(*e.lhs);
+            int b = genFullValue(*e.rhs);
+            int rd = freshReg();
+            emitAlu(e.kind == BoolExpr::Kind::AND ? '&' : '|', a, b, rd);
+            return rd;
+          }
+          case BoolExpr::Kind::NOT: {
+            int a = genFullValue(*e.lhs);
+            int rd = freshReg();
+            emitAlu('^', a, -1, rd);
+            return rd;
+          }
+        }
+        support::panic("genFullValue: bad kind");
+    }
+
+    static bool
+    flattenChain(const BoolExpr &e, BoolExpr::Kind kind,
+                 std::vector<const BoolExpr *> *out)
+    {
+        if (e.kind == BoolExpr::Kind::LEAF) {
+            out->push_back(&e);
+            return true;
+        }
+        if (e.kind != kind)
+            return false;
+        return flattenChain(*e.lhs, kind, out) &&
+               flattenChain(*e.rhs, kind, out);
+    }
+
+    // ----- CC_BRANCH_EARLY_OUT ---------------------------------------------
+
+    /**
+     * Short-circuit control generation: branch to `ltrue` when the
+     * expression is true, fall through when false (the caller places
+     * the false continuation right after).
+     */
+    void
+    genBranchTrue(const BoolExpr &e, int ltrue)
+    {
+        switch (e.kind) {
+          case BoolExpr::Kind::LEAF:
+            emitCompare(e.leaf);
+            emitBranchCc(e.leaf.rel, ltrue);
+            return;
+          case BoolExpr::Kind::OR:
+            genBranchTrue(*e.lhs, ltrue);
+            genBranchTrue(*e.rhs, ltrue);
+            return;
+          case BoolExpr::Kind::AND: {
+            int lfalse = freshLabel();
+            genBranchFalse(*e.lhs, lfalse);
+            genBranchTrue(*e.rhs, ltrue);
+            emitLabel(lfalse);
+            return;
+          }
+          case BoolExpr::Kind::NOT:
+            genBranchFalse(*e.lhs, ltrue);
+            return;
+        }
+        support::panic("genBranchTrue: bad kind");
+    }
+
+    /** Branch to `lfalse` when the expression is false. */
+    void
+    genBranchFalse(const BoolExpr &e, int lfalse)
+    {
+        switch (e.kind) {
+          case BoolExpr::Kind::LEAF:
+            emitCompare(e.leaf);
+            emitBranchCc(isa::negateCond(e.leaf.rel), lfalse);
+            return;
+          case BoolExpr::Kind::AND:
+            genBranchFalse(*e.lhs, lfalse);
+            genBranchFalse(*e.rhs, lfalse);
+            return;
+          case BoolExpr::Kind::OR: {
+            int ltrue = freshLabel();
+            genBranchTrue(*e.lhs, ltrue);
+            genBranchFalse(*e.rhs, lfalse);
+            emitLabel(ltrue);
+            return;
+          }
+          case BoolExpr::Kind::NOT:
+            genBranchTrue(*e.lhs, lfalse);
+            return;
+        }
+        support::panic("genBranchFalse: bad kind");
+    }
+
+    CcProgram prog_;
+    int next_reg_ = 1;
+    int next_label_ = 0;
+};
+
+} // namespace
+
+CcProgram
+generate(const BoolExpr &expr, Style style, Context context)
+{
+    Gen gen(style, context);
+
+    auto endStore = [&gen](int value_reg) {
+        CcInst &inst = gen.emit(CcInst::Op::STORE_VAR,
+                                CcClass::REGISTER);
+        inst.rs = value_reg;
+        inst.var = "Found";
+    };
+
+    switch (style) {
+      case Style::SET_CONDITIONALLY: {
+        if (context == Context::JUMP &&
+            expr.kind == BoolExpr::Kind::LEAF) {
+            // A single compare-and-branch does the whole job.
+            int target = gen.freshLabel();
+            CcInst &inst = gen.emit(CcInst::Op::CMP_BRANCH,
+                                    CcClass::BRANCH);
+            inst.cmp = expr.leaf;
+            inst.rel = expr.leaf.rel;
+            CcProgram prog = gen.take();
+            prog.jump_target = target;
+            // Fix the label reference.
+            prog.insts.back().label = target;
+            return prog;
+        }
+        int value = gen.genMipsValue(expr);
+        if (context == Context::STORE) {
+            endStore(value);
+            return gen.take();
+        }
+        int target = gen.freshLabel();
+        CcInst &inst = gen.emit(CcInst::Op::CMP_BRANCH, CcClass::BRANCH);
+        inst.rs = value;
+        inst.rel = Cond::NE;
+        inst.label = target;
+        CcProgram prog = gen.take();
+        prog.jump_target = target;
+        return prog;
+      }
+
+      case Style::CC_COND_SET: {
+        if (context == Context::JUMP &&
+            expr.kind == BoolExpr::Kind::LEAF) {
+            gen.emitCompare(expr.leaf);
+            int target = gen.freshLabel();
+            gen.emitBranchCc(expr.leaf.rel, target);
+            CcProgram prog = gen.take();
+            prog.jump_target = target;
+            return prog;
+        }
+        int value = gen.genCondSetValue(expr);
+        if (context == Context::STORE) {
+            endStore(value);
+            return gen.take();
+        }
+        CcInst &tst = gen.emit(CcInst::Op::TEST, CcClass::COMPARE);
+        tst.rs = value;
+        int target = gen.freshLabel();
+        gen.emitBranchCc(Cond::NE, target);
+        CcProgram prog = gen.take();
+        prog.jump_target = target;
+        return prog;
+      }
+
+      case Style::CC_BRANCH_FULL: {
+        int value = gen.genFullValue(expr);
+        if (context == Context::STORE) {
+            endStore(value);
+            return gen.take();
+        }
+        CcInst &tst = gen.emit(CcInst::Op::TEST, CcClass::COMPARE);
+        tst.rs = value;
+        int target = gen.freshLabel();
+        gen.emitBranchCc(Cond::NE, target);
+        CcProgram prog = gen.take();
+        prog.jump_target = target;
+        return prog;
+      }
+
+      case Style::CC_BRANCH_EARLY_OUT: {
+        if (context == Context::JUMP) {
+            int target = gen.freshLabel();
+            gen.genBranchTrue(expr, target);
+            CcProgram prog = gen.take();
+            prog.jump_target = target;
+            return prog;
+        }
+        // Figure 1's early-out store shape: default true, fall to a
+        // false-store when any early-out path fails.
+        int rd = gen.freshReg();
+        gen.emitLoadConst(rd, 1);
+        int done = gen.freshLabel();
+        gen.genBranchTrue(expr, done);
+        gen.emitLoadConst(rd, 0);
+        gen.emitLabel(done);
+        endStore(rd);
+        return gen.take();
+      }
+    }
+    support::panic("generate: bad style");
+}
+
+ClassCounts
+staticCounts(const CcProgram &prog)
+{
+    ClassCounts counts;
+    for (const CcInst &inst : prog.insts) {
+        if (inst.op == CcInst::Op::LABEL)
+            continue;
+        switch (inst.cls) {
+          case CcClass::COMPARE: counts.compare += 1; break;
+          case CcClass::REGISTER: counts.reg += 1; break;
+          case CcClass::BRANCH: counts.branch += 1; break;
+        }
+    }
+    return counts;
+}
+
+ClassCounts
+execute(const CcProgram &prog, const std::map<std::string, int32_t> &env,
+        bool *result)
+{
+    std::map<int, int32_t> regs;
+    int32_t cc_a = 0, cc_b = 0;
+    int32_t stored = 0;
+    bool jumped_to_target = false;
+
+    auto leafOperands = [&env](const Leaf &leaf, int32_t *a, int32_t *b) {
+        auto it = env.find(leaf.var);
+        if (it == env.end())
+            support::panic("execute: unbound variable '%s'",
+                           leaf.var.c_str());
+        *a = it->second;
+        if (leaf.rhs_is_const) {
+            *b = leaf.rhs_const;
+        } else {
+            auto jt = env.find(leaf.rhs_var);
+            if (jt == env.end())
+                support::panic("execute: unbound variable '%s'",
+                               leaf.rhs_var.c_str());
+            *b = jt->second;
+        }
+    };
+
+    // Label positions.
+    std::map<int, size_t> labels;
+    for (size_t i = 0; i < prog.insts.size(); ++i)
+        if (prog.insts[i].op == CcInst::Op::LABEL)
+            labels[prog.insts[i].label] = i;
+
+    ClassCounts counts;
+    size_t pc = 0;
+    size_t safety = 0;
+    while (pc < prog.insts.size()) {
+        if (++safety > 100000)
+            support::panic("execute: runaway CC program");
+        const CcInst &inst = prog.insts[pc];
+        ++pc;
+        if (inst.op == CcInst::Op::LABEL)
+            continue;
+        switch (inst.cls) {
+          case CcClass::COMPARE: counts.compare += 1; break;
+          case CcClass::REGISTER: counts.reg += 1; break;
+          case CcClass::BRANCH: counts.branch += 1; break;
+        }
+
+        auto jumpTo = [&](int label) {
+            if (label == prog.jump_target) {
+                jumped_to_target = true;
+                pc = prog.insts.size();
+                return;
+            }
+            auto it = labels.find(label);
+            if (it == labels.end())
+                support::panic("execute: unknown label L%d", label);
+            pc = it->second;
+        };
+
+        switch (inst.op) {
+          case CcInst::Op::LOAD_CONST:
+            regs[inst.rd] = inst.constant;
+            break;
+          case CcInst::Op::MOVE:
+            regs[inst.rd] = regs[inst.rs];
+            break;
+          case CcInst::Op::ALU: {
+            int32_t a = regs[inst.rs];
+            int32_t b = inst.rt < 0 ? 1 : regs[inst.rt];
+            regs[inst.rd] = inst.alu == '&' ? (a & b)
+                          : inst.alu == '|' ? (a | b) : (a ^ b);
+            break;
+          }
+          case CcInst::Op::STORE_VAR:
+            stored = regs[inst.rs];
+            break;
+          case CcInst::Op::COMPARE:
+            leafOperands(inst.cmp, &cc_a, &cc_b);
+            break;
+          case CcInst::Op::TEST:
+            cc_a = regs[inst.rs];
+            cc_b = 0;
+            break;
+          case CcInst::Op::SET_COND:
+            regs[inst.rd] = isa::evalCond(inst.rel,
+                                          static_cast<uint32_t>(cc_a),
+                                          static_cast<uint32_t>(cc_b))
+                ? 1 : 0;
+            break;
+          case CcInst::Op::SET_FULL: {
+            int32_t a, b;
+            leafOperands(inst.cmp, &a, &b);
+            regs[inst.rd] = isa::evalCond(inst.rel,
+                                          static_cast<uint32_t>(a),
+                                          static_cast<uint32_t>(b))
+                ? 1 : 0;
+            break;
+          }
+          case CcInst::Op::BRANCH_CC:
+            if (isa::evalCond(inst.rel, static_cast<uint32_t>(cc_a),
+                              static_cast<uint32_t>(cc_b))) {
+                jumpTo(inst.label);
+            }
+            break;
+          case CcInst::Op::CMP_BRANCH: {
+            int32_t a, b;
+            if (inst.rs >= 0) {
+                a = regs[inst.rs];
+                b = 0;
+            } else {
+                leafOperands(inst.cmp, &a, &b);
+            }
+            if (isa::evalCond(inst.rel, static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b))) {
+                jumpTo(inst.label);
+            }
+            break;
+          }
+          case CcInst::Op::BRANCH_ALWAYS:
+            jumpTo(inst.label);
+            break;
+          case CcInst::Op::LABEL:
+            break;
+        }
+    }
+
+    if (result) {
+        *result = prog.context == Context::JUMP ? jumped_to_target
+                                                : stored != 0;
+    }
+    return counts;
+}
+
+namespace {
+
+/** Pick a value for a leaf's variable forcing the desired outcome. */
+int32_t
+chooseValue(Cond rel, int32_t rhs, bool desired)
+{
+    const int32_t candidates[] = {
+        rhs, rhs + 1, rhs - 1, 0, 1, -1, 2,
+        static_cast<int32_t>(0x80000000), 0x7fffffff,
+    };
+    for (int32_t v : candidates) {
+        if (isa::evalCond(rel, static_cast<uint32_t>(v),
+                          static_cast<uint32_t>(rhs)) == desired) {
+            return v;
+        }
+    }
+    support::panic("chooseValue: no value forces %s to %d",
+                   isa::condName(rel).c_str(), desired);
+}
+
+} // namespace
+
+ClassCounts
+expectedDynamicCounts(const CcProgram &prog, const BoolExpr &expr)
+{
+    std::vector<const Leaf *> leaves;
+    expr.collectLeaves(&leaves);
+    size_t n = leaves.size();
+    if (n > 16)
+        support::panic("expectedDynamicCounts: too many leaves (%zu)", n);
+
+    ClassCounts sum;
+    uint32_t combos = 1u << n;
+    for (uint32_t mask = 0; mask < combos; ++mask) {
+        std::map<std::string, int32_t> env;
+        for (size_t i = 0; i < n; ++i) {
+            const Leaf &leaf = *leaves[i];
+            int32_t rhs = leaf.rhs_const;
+            if (!leaf.rhs_is_const) {
+                rhs = 5;
+                env[leaf.rhs_var] = rhs;
+            }
+            bool desired = (mask >> i) & 1;
+            env[leaf.var] = chooseValue(leaf.rel, rhs, desired);
+        }
+        bool result = false;
+        ClassCounts counts = execute(prog, env, &result);
+        // Sanity: the generated code must agree with eval().
+        if (result != expr.eval(env))
+            support::panic("expectedDynamicCounts: generator bug for "
+                           "style %d", static_cast<int>(prog.style));
+        sum.compare += counts.compare;
+        sum.reg += counts.reg;
+        sum.branch += counts.branch;
+    }
+    sum.compare /= combos;
+    sum.reg /= combos;
+    sum.branch /= combos;
+    return sum;
+}
+
+} // namespace mips::ccm

@@ -1,0 +1,44 @@
+#include "ccm/cost.h"
+
+#include "support/logging.h"
+
+namespace mips::ccm {
+
+double
+expressionCost(Style style, Context context, double mean_operators,
+               const CostWeights &weights, bool dynamic)
+{
+    // Cost of an n-operator OR-chain, n = 1 and n = 3: the relation is
+    // linear in n for chain expressions, so two points determine it.
+    auto costAt = [&](int n) {
+        BoolExprPtr expr = orChain(n);
+        CcProgram prog = generate(*expr, style, context);
+        ClassCounts counts = dynamic
+            ? expectedDynamicCounts(prog, *expr) : staticCounts(prog);
+        return counts.cost(weights.reg_time, weights.cmp_time,
+                           weights.branch_time);
+    };
+    double c1 = costAt(1);
+    double c3 = costAt(3);
+    double slope = (c3 - c1) / 2.0;
+    double base = c1 - slope;
+    return base + slope * mean_operators;
+}
+
+Table6Entry
+table6Entry(Style style, const ExprMix &mix, const CostWeights &weights,
+            bool dynamic)
+{
+    Table6Entry entry;
+    entry.store_cost = expressionCost(style, Context::STORE,
+                                      mix.mean_operators, weights,
+                                      dynamic);
+    entry.jump_cost = expressionCost(style, Context::JUMP,
+                                     mix.mean_operators, weights,
+                                     dynamic);
+    entry.total_cost = mix.frac_store * entry.store_cost +
+                       mix.frac_jump * entry.jump_cost;
+    return entry;
+}
+
+} // namespace mips::ccm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cost synthesis for Table 6: "the effectiveness for conditional set
+ * assuming that register operations take time 1, compares take time 2,
+ * and branches take time 4", weighted by the boolean-expression mix of
+ * Table 4 (mean operators per expression; fraction ending in jumps vs
+ * stores).
+ */
+#pragma once
+
+#include "ccm/codegen.h"
+
+namespace mips::ccm {
+
+/** The paper's timing weights. */
+struct CostWeights
+{
+    double reg_time = 1;
+    double cmp_time = 2;
+    double branch_time = 4;
+};
+
+/** The boolean-expression workload mix (Table 4's columns). */
+struct ExprMix
+{
+    double mean_operators = 1.66;
+    double frac_jump = 0.809;
+    double frac_store = 0.191;
+};
+
+/**
+ * Cost of evaluating an expression with `mean_operators` boolean
+ * operators under `style` in `context`. Computed by generating
+ * canonical OR-chains with 1 and 3 operators, fitting the (exactly
+ * linear) cost-per-operator relation, and evaluating it at the mean.
+ *
+ * With `dynamic` false (the default, matching the paper's Table 6
+ * methodology) static instruction counts are weighted; with it true,
+ * expected executed counts over all leaf outcomes are weighted, which
+ * flatters early-out evaluation exactly as Section 2.3.2 discusses.
+ */
+double expressionCost(Style style, Context context, double mean_operators,
+                      const CostWeights &weights = CostWeights{},
+                      bool dynamic = false);
+
+/** One Table 6 row group: store context, jump context, and the mix. */
+struct Table6Entry
+{
+    double store_cost = 0;
+    double jump_cost = 0;
+    double total_cost = 0; ///< mix-weighted
+};
+
+/** Compute the full Table 6 entry for a style. */
+Table6Entry table6Entry(Style style, const ExprMix &mix = ExprMix{},
+                        const CostWeights &weights = CostWeights{},
+                        bool dynamic = false);
+
+} // namespace mips::ccm

@@ -1,0 +1,40 @@
+#include "ccm/taxonomy.h"
+
+#include "support/table.h"
+
+namespace mips::ccm {
+
+const std::vector<MachineCc> &
+ccTaxonomy()
+{
+    // Table 2 of the paper: the M68000 sets codes on operations and
+    // offers a conditional set; the VAX sets them on moves as well and
+    // reaches them through branches; the 360 sets them on operations
+    // with branch access; the PDP-10 and MIPS have no condition codes
+    // (the PDP-10 uses compare-and-skip, MIPS compare-and-branch).
+    static const std::vector<MachineCc> machines = {
+        {"M68000", true, false, true, true, true},
+        {"VAX", true, true, true, false, true},
+        {"360", true, false, true, false, true},
+        {"PDP-10", false, false, false, false, false},
+        {"MIPS", false, false, false, false, false},
+    };
+    return machines;
+}
+
+std::string
+taxonomyTable()
+{
+    support::TextTable t("Table 2: Condition code operations");
+    t.setHeader({"Machine", "Has CC", "Set on moves", "Set on ops",
+                 "Conditional set", "Branch access"});
+    auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
+    for (const MachineCc &m : ccTaxonomy()) {
+        t.addRow({m.name, yn(m.has_cc), yn(m.set_on_moves),
+                  yn(m.set_on_operations), yn(m.conditional_set),
+                  yn(m.branch_access)});
+    }
+    return t.render();
+}
+
+} // namespace mips::ccm

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The condition-code taxonomy of Table 2: which contemporary machines
+ * have condition codes, what sets them, and how they are consumed.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mips::ccm {
+
+/** One machine's condition-code feature set. */
+struct MachineCc
+{
+    std::string name;
+    bool has_cc = false;
+    bool set_on_moves = false;      ///< moves update the codes
+    bool set_on_operations = false; ///< ALU operations update the codes
+    bool conditional_set = false;   ///< Scc-style access
+    bool branch_access = false;     ///< Bcc-style access
+};
+
+/** The machines of Table 2 (MIPS included as the no-CC row). */
+const std::vector<MachineCc> &ccTaxonomy();
+
+/** Render the Table 2 matrix. */
+std::string taxonomyTable();
+
+} // namespace mips::ccm

@@ -1,0 +1,172 @@
+#include "isa/alu.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace mips::isa {
+
+AluOutputs
+evalAlu(const AluPiece &piece, const AluInputs &in)
+{
+    AluOutputs out;
+    out.writes_rd = aluWritesRd(piece.op);
+    out.writes_lo = aluWritesLo(piece.op);
+
+    switch (piece.op) {
+      case AluOp::ADD:
+        out.rd = support::addOverflow(in.rs, in.src2, &out.overflow);
+        break;
+      case AluOp::SUB:
+        out.rd = support::subOverflow(in.rs, in.src2, &out.overflow);
+        break;
+      case AluOp::RSUB:
+        out.rd = support::subOverflow(in.src2, in.rs, &out.overflow);
+        break;
+      case AluOp::AND:
+        out.rd = in.rs & in.src2;
+        break;
+      case AluOp::OR:
+        out.rd = in.rs | in.src2;
+        break;
+      case AluOp::XOR:
+        out.rd = in.rs ^ in.src2;
+        break;
+      case AluOp::NOT:
+        out.rd = ~in.rs;
+        break;
+      case AluOp::SLL:
+        out.rd = in.rs << (in.src2 & 31);
+        break;
+      case AluOp::SRL:
+        out.rd = in.rs >> (in.src2 & 31);
+        break;
+      case AluOp::SRA:
+        out.rd = static_cast<uint32_t>(
+            static_cast<int32_t>(in.rs) >> (in.src2 & 31));
+        break;
+      case AluOp::XC:
+        // Byte pointer in rs (low two bits), word in src2.
+        out.rd = (in.src2 >> (8 * (in.rs & 3))) & 0xff;
+        break;
+      case AluOp::IC: {
+        // Replace byte (LO & 3) of old rd with the low byte of rs.
+        int shift = 8 * (in.lo & 3);
+        uint32_t byte_mask = 0xffu << shift;
+        out.rd = (in.rd_old & ~byte_mask) |
+                 ((in.rs & 0xff) << shift);
+        break;
+      }
+      case AluOp::MOVI8:
+        out.rd = piece.imm8;
+        break;
+      case AluOp::SET:
+        out.rd = evalCond(piece.cond, in.rs, in.src2) ? 1 : 0;
+        break;
+      case AluOp::MTLO:
+        out.lo = in.rs;
+        break;
+      case AluOp::MFLO:
+        out.rd = in.lo;
+        break;
+      case AluOp::MSTEP:
+        // One shift-and-add multiply step (see header).
+        out.rd = (in.lo & 1) ? in.rd_old + in.rs : in.rd_old;
+        out.lo = in.lo >> 1;
+        break;
+      case AluOp::DSTEP: {
+        // One restoring-division step (see header).
+        uint32_t rem = (in.rd_old << 1) | (in.lo >> 31);
+        uint32_t quo = in.lo << 1;
+        if (rem >= in.rs && in.rs != 0) {
+            rem -= in.rs;
+            quo |= 1;
+        }
+        out.rd = rem;
+        out.lo = quo;
+        break;
+      }
+    }
+    return out;
+}
+
+std::string
+aluOpName(AluOp op)
+{
+    switch (op) {
+      case AluOp::ADD:   return "add";
+      case AluOp::SUB:   return "sub";
+      case AluOp::RSUB:  return "rsub";
+      case AluOp::AND:   return "and";
+      case AluOp::OR:    return "or";
+      case AluOp::XOR:   return "xor";
+      case AluOp::NOT:   return "not";
+      case AluOp::SLL:   return "sll";
+      case AluOp::SRL:   return "srl";
+      case AluOp::SRA:   return "sra";
+      case AluOp::XC:    return "xc";
+      case AluOp::IC:    return "ic";
+      case AluOp::MOVI8: return "movi";
+      case AluOp::SET:   return "set";
+      case AluOp::MTLO:  return "mtlo";
+      case AluOp::MFLO:  return "mflo";
+      case AluOp::MSTEP: return "mstep";
+      case AluOp::DSTEP: return "dstep";
+    }
+    support::panic("aluOpName: bad op %d", static_cast<int>(op));
+}
+
+bool
+aluWritesRd(AluOp op)
+{
+    return op != AluOp::MTLO;
+}
+
+bool
+aluReadsRs(AluOp op)
+{
+    return op != AluOp::MOVI8 && op != AluOp::MFLO;
+}
+
+bool
+aluReadsSrc2(AluOp op)
+{
+    switch (op) {
+      case AluOp::NOT:
+      case AluOp::MOVI8:
+      case AluOp::IC:
+      case AluOp::MTLO:
+      case AluOp::MFLO:
+      case AluOp::MSTEP:
+      case AluOp::DSTEP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+aluReadsRdOld(AluOp op)
+{
+    return op == AluOp::IC || op == AluOp::MSTEP || op == AluOp::DSTEP;
+}
+
+bool
+aluReadsLo(AluOp op)
+{
+    return op == AluOp::IC || op == AluOp::MFLO || op == AluOp::MSTEP ||
+           op == AluOp::DSTEP;
+}
+
+bool
+aluWritesLo(AluOp op)
+{
+    return op == AluOp::MTLO || op == AluOp::MSTEP || op == AluOp::DSTEP;
+}
+
+bool
+aluCanOverflow(AluOp op)
+{
+    return op == AluOp::ADD || op == AluOp::SUB || op == AluOp::RSUB;
+}
+
+} // namespace mips::isa

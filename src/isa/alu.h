@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The ALU instruction piece.
+ *
+ * The paper's instructions are built from *pieces*: an ALU piece and a
+ * memory piece can occupy one 32-bit word. The ALU piece here carries
+ * the paper-mandated features: a 4-bit inline constant usable wherever
+ * a register is (covering ~70% of constants, Table 1), an 8-bit move
+ * immediate (all but ~5%), *reverse* operators so small negative
+ * constants need no sign extension, set-conditionally with the full
+ * 16-comparison repertoire, and the insert/extract-byte operations
+ * that make word addressing viable (Section 4.1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/cond.h"
+#include "isa/registers.h"
+
+namespace mips::isa {
+
+/** ALU operations (6-bit opcode space in the unpacked format). */
+enum class AluOp : uint8_t
+{
+    ADD = 0,    ///< rd = rs + src2 (traps on signed overflow if enabled)
+    SUB = 1,    ///< rd = rs - src2 (traps on signed overflow if enabled)
+    RSUB = 2,   ///< rd = src2 - rs: the paper's reverse operator
+    AND = 3,    ///< rd = rs & src2
+    OR = 4,     ///< rd = rs | src2
+    XOR = 5,    ///< rd = rs ^ src2
+    NOT = 6,    ///< rd = ~rs (src2 ignored)
+    SLL = 7,    ///< rd = rs << (src2 & 31)
+    SRL = 8,    ///< rd = rs >> (src2 & 31), logical
+    SRA = 9,    ///< rd = rs >> (src2 & 31), arithmetic
+    XC = 10,    ///< extract byte: rd = byte (rs & 3) of src2 (a register)
+    IC = 11,    ///< insert byte: replace byte (LO & 3) of rd with low
+                ///< byte of rs; reads rd and the LO special register
+    MOVI8 = 12, ///< rd = imm8 (the special 8-bit move immediate)
+    SET = 13,   ///< set conditionally: rd = evalCond(cond, rs, src2)
+    MTLO = 14,  ///< LO = rs (byte selector for IC)
+    MFLO = 15,  ///< rd = LO
+    MSTEP = 16, ///< multiply step (see evalAlu for exact semantics)
+    DSTEP = 17, ///< divide step (see evalAlu for exact semantics)
+};
+
+/** Number of distinct ALU opcodes. */
+constexpr int kNumAluOps = 18;
+
+/**
+ * Second operand: a register or the paper's 4-bit inline constant.
+ * The constant is unsigned 0..15; negative values are expressed with
+ * the reverse operators and swapped comparisons instead of a sign bit
+ * (the paper's stated choice).
+ */
+struct Src2
+{
+    bool is_imm = false;
+    Reg reg = kZeroReg; ///< valid when !is_imm
+    uint8_t imm4 = 0;   ///< valid when is_imm; 0..15
+
+    static Src2 fromReg(Reg r) { return Src2{false, r, 0}; }
+    static Src2 fromImm(uint8_t v) { return Src2{true, kZeroReg, v}; }
+
+    bool operator==(const Src2 &) const = default;
+};
+
+/** One ALU piece. Fields not used by `op` must be left defaulted. */
+struct AluPiece
+{
+    AluOp op = AluOp::ADD;
+    Reg rd = kZeroReg;
+    Reg rs = kZeroReg;
+    Src2 src2;
+    Cond cond = Cond::ALWAYS; ///< only meaningful for SET
+    uint8_t imm8 = 0;         ///< only meaningful for MOVI8
+
+    bool operator==(const AluPiece &) const = default;
+};
+
+/** Inputs to ALU evaluation (register values already read). */
+struct AluInputs
+{
+    uint32_t rs = 0;      ///< value of the rs register
+    uint32_t src2 = 0;    ///< value of src2 (register value or imm4)
+    uint32_t rd_old = 0;  ///< old value of rd (IC and MSTEP/DSTEP read it)
+    uint32_t lo = 0;      ///< value of the LO special register
+};
+
+/** Results of ALU evaluation. */
+struct AluOutputs
+{
+    uint32_t rd = 0;        ///< new rd value (if the op writes rd)
+    uint32_t lo = 0;        ///< new LO value (if the op writes LO)
+    bool writes_rd = false;
+    bool writes_lo = false;
+    bool overflow = false;  ///< signed overflow occurred (ADD/SUB/RSUB)
+};
+
+/**
+ * Pure combinational ALU semantics, shared by the functional executor
+ * and the pipeline simulator.
+ *
+ * MSTEP implements one step of a shift-and-add multiply: LO holds the
+ * multiplier; if its low bit is set rd += rs; then LO >>= 1 and rs is
+ * expected to be doubled by a separate SLL (software controls the
+ * datapath, in keeping with the paper's minimal-hardware stance).
+ * DSTEP implements one step of restoring division: rd (remainder) is
+ * shifted left by one bringing in the top bit of LO, LO shifts left;
+ * if rd >= rs then rd -= rs and the low bit of LO is set.
+ */
+AluOutputs evalAlu(const AluPiece &piece, const AluInputs &in);
+
+/** Mnemonic for an ALU op, e.g. "add", "xc", "seteq" (SET uses cond). */
+std::string aluOpName(AluOp op);
+
+/** True if the op writes its rd register. */
+bool aluWritesRd(AluOp op);
+
+/** True if the op reads its rs register. */
+bool aluReadsRs(AluOp op);
+
+/** True if the op reads its src2 operand. */
+bool aluReadsSrc2(AluOp op);
+
+/** True if the op reads the previous value of rd (IC, MSTEP, DSTEP). */
+bool aluReadsRdOld(AluOp op);
+
+/** True if the op reads the LO special register. */
+bool aluReadsLo(AluOp op);
+
+/** True if the op writes the LO special register. */
+bool aluWritesLo(AluOp op);
+
+/** True if the op can raise an overflow trap. */
+bool aluCanOverflow(AluOp op);
+
+} // namespace mips::isa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Control-transfer pieces: compare-and-branch and jumps.
+ *
+ * MIPS has *no condition codes* (Section 2.3): conditional control flow
+ * is a single compare-and-branch instruction choosing among the 16
+ * comparisons. All branches are delayed with a single delay slot;
+ * indirect jumps have a branch delay of two (Section 3.3: three return
+ * addresses are saved so code after an indirect jump can be resumed).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "isa/alu.h"
+#include "isa/cond.h"
+#include "isa/registers.h"
+
+namespace mips::isa {
+
+/** Architectural delay (in instruction slots) after a taken branch. */
+constexpr int kBranchDelay = 1;
+
+/** Architectural delay after an indirect (register) jump. */
+constexpr int kIndirectJumpDelay = 2;
+
+/** Delay slots visible after a load before its value is readable. */
+constexpr int kLoadDelay = 1;
+
+/** Width of the PC-relative branch offset field (signed words). */
+constexpr int kBranchOffsetBits = 16;
+
+/** Width of the direct-jump absolute word-address field. */
+constexpr int kJumpAddrBits = 24;
+
+/** Width of the call-direct absolute word-address field. */
+constexpr int kCallAddrBits = 23;
+
+/** Compare-and-branch: if evalCond(cond, rs, src2) then PC += offset. */
+struct BranchPiece
+{
+    Cond cond = Cond::ALWAYS;
+    Reg rs = kZeroReg;
+    Src2 src2;
+    /**
+     * Signed word offset relative to the *following* instruction
+     * (i.e. target = branch address + 1 + offset).
+     */
+    int32_t offset = 0;
+
+    bool operator==(const BranchPiece &) const = default;
+};
+
+/** Jump kinds. */
+enum class JumpKind : uint8_t
+{
+    DIRECT = 0,        ///< PC = absolute address, delay 1
+    INDIRECT = 1,      ///< PC = register, delay 2
+    CALL_DIRECT = 2,   ///< link = return address; PC = absolute, delay 1
+    CALL_INDIRECT = 3, ///< link = return address; PC = register, delay 2
+};
+
+/** Unconditional jump / call piece. */
+struct JumpPiece
+{
+    JumpKind kind = JumpKind::DIRECT;
+    uint32_t target_addr = 0; ///< DIRECT / CALL_DIRECT
+    Reg target_reg = kZeroReg; ///< INDIRECT / CALL_INDIRECT
+    Reg link = kLinkReg;       ///< CALL_*: receives address after delay
+                               ///< slots (the resume point)
+
+    bool operator==(const JumpPiece &) const = default;
+};
+
+/** Number of delay slots a jump of this kind exposes. */
+constexpr int
+jumpDelay(JumpKind kind)
+{
+    return (kind == JumpKind::INDIRECT || kind == JumpKind::CALL_INDIRECT)
+        ? kIndirectJumpDelay : kBranchDelay;
+}
+
+/** True for CALL_DIRECT / CALL_INDIRECT. */
+constexpr bool
+jumpIsCall(JumpKind kind)
+{
+    return kind == JumpKind::CALL_DIRECT || kind == JumpKind::CALL_INDIRECT;
+}
+
+/** True for INDIRECT / CALL_INDIRECT. */
+constexpr bool
+jumpIsIndirect(JumpKind kind)
+{
+    return kind == JumpKind::INDIRECT || kind == JumpKind::CALL_INDIRECT;
+}
+
+} // namespace mips::isa

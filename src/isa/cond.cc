@@ -1,0 +1,110 @@
+#include "isa/cond.h"
+
+#include "support/logging.h"
+
+namespace mips::isa {
+
+bool
+evalCond(Cond c, uint32_t a, uint32_t b)
+{
+    int32_t sa = static_cast<int32_t>(a);
+    int32_t sb = static_cast<int32_t>(b);
+    switch (c) {
+      case Cond::ALWAYS: return true;
+      case Cond::NEVER:  return false;
+      case Cond::EQ:     return a == b;
+      case Cond::NE:     return a != b;
+      case Cond::LT:     return sa < sb;
+      case Cond::LE:     return sa <= sb;
+      case Cond::GT:     return sa > sb;
+      case Cond::GE:     return sa >= sb;
+      case Cond::LTU:    return a < b;
+      case Cond::LEU:    return a <= b;
+      case Cond::GTU:    return a > b;
+      case Cond::GEU:    return a >= b;
+      case Cond::MI:     return sa < 0;
+      case Cond::PL:     return sa >= 0;
+      case Cond::EVN:    return (a & 1) == 0;
+      case Cond::ODD:    return (a & 1) == 1;
+    }
+    support::panic("evalCond: bad cond %d", static_cast<int>(c));
+}
+
+Cond
+negateCond(Cond c)
+{
+    switch (c) {
+      case Cond::ALWAYS: return Cond::NEVER;
+      case Cond::NEVER:  return Cond::ALWAYS;
+      case Cond::EQ:     return Cond::NE;
+      case Cond::NE:     return Cond::EQ;
+      case Cond::LT:     return Cond::GE;
+      case Cond::LE:     return Cond::GT;
+      case Cond::GT:     return Cond::LE;
+      case Cond::GE:     return Cond::LT;
+      case Cond::LTU:    return Cond::GEU;
+      case Cond::LEU:    return Cond::GTU;
+      case Cond::GTU:    return Cond::LEU;
+      case Cond::GEU:    return Cond::LTU;
+      case Cond::MI:     return Cond::PL;
+      case Cond::PL:     return Cond::MI;
+      case Cond::EVN:    return Cond::ODD;
+      case Cond::ODD:    return Cond::EVN;
+    }
+    support::panic("negateCond: bad cond %d", static_cast<int>(c));
+}
+
+Cond
+swapCond(Cond c)
+{
+    switch (c) {
+      case Cond::LT:  return Cond::GT;
+      case Cond::LE:  return Cond::GE;
+      case Cond::GT:  return Cond::LT;
+      case Cond::GE:  return Cond::LE;
+      case Cond::LTU: return Cond::GTU;
+      case Cond::LEU: return Cond::GEU;
+      case Cond::GTU: return Cond::LTU;
+      case Cond::GEU: return Cond::LEU;
+      default:        return c; // symmetric or unary comparisons
+    }
+}
+
+std::string
+condName(Cond c)
+{
+    switch (c) {
+      case Cond::ALWAYS: return "always";
+      case Cond::NEVER:  return "never";
+      case Cond::EQ:     return "eq";
+      case Cond::NE:     return "ne";
+      case Cond::LT:     return "lt";
+      case Cond::LE:     return "le";
+      case Cond::GT:     return "gt";
+      case Cond::GE:     return "ge";
+      case Cond::LTU:    return "ltu";
+      case Cond::LEU:    return "leu";
+      case Cond::GTU:    return "gtu";
+      case Cond::GEU:    return "geu";
+      case Cond::MI:     return "mi";
+      case Cond::PL:     return "pl";
+      case Cond::EVN:    return "evn";
+      case Cond::ODD:    return "odd";
+    }
+    support::panic("condName: bad cond %d", static_cast<int>(c));
+}
+
+bool
+parseCond(const std::string &name, Cond *out)
+{
+    for (int i = 0; i < kNumConds; ++i) {
+        Cond c = static_cast<Cond>(i);
+        if (condName(c) == name) {
+            *out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mips::isa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The 16 comparison codes shared by compare-and-branch and
+ * set-conditionally.
+ *
+ * The paper: "MIPS supports conditional control flow breaks using a
+ * compare and branch instruction with one of 16 possible comparisons.
+ * The 16 comparisons include both signed and unsigned arithmetic."
+ * The exact set is not enumerated, so this rendition uses the ten
+ * two-operand relations (signed and unsigned), ALWAYS/NEVER, sign and
+ * parity tests of the first operand.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mips::isa {
+
+/** Comparison codes; exactly 16 so they fit a 4-bit field. */
+enum class Cond : uint8_t
+{
+    ALWAYS = 0,  ///< unconditionally true (plain branch)
+    NEVER = 1,   ///< unconditionally false (useful as a scheduled no-op)
+    EQ = 2,      ///< a == b
+    NE = 3,      ///< a != b
+    LT = 4,      ///< signed a < b
+    LE = 5,      ///< signed a <= b
+    GT = 6,      ///< signed a > b
+    GE = 7,      ///< signed a >= b
+    LTU = 8,     ///< unsigned a < b
+    LEU = 9,     ///< unsigned a <= b
+    GTU = 10,    ///< unsigned a > b
+    GEU = 11,    ///< unsigned a >= b
+    MI = 12,     ///< a is negative (b ignored)
+    PL = 13,     ///< a is non-negative (b ignored)
+    EVN = 14,    ///< a is even (b ignored)
+    ODD = 15,    ///< a is odd (b ignored)
+};
+
+/** Number of comparison codes. */
+constexpr int kNumConds = 16;
+
+/** Evaluate a comparison on 32-bit operands. */
+bool evalCond(Cond c, uint32_t a, uint32_t b);
+
+/** The logical negation (evalCond(negate(c),a,b) == !evalCond(c,a,b)). */
+Cond negateCond(Cond c);
+
+/**
+ * The comparison with operands swapped
+ * (evalCond(swapCond(c),a,b) == evalCond(c,b,a)). Used by the code
+ * generators to put a constant on the immediate side (the paper's
+ * "reverse operators").
+ */
+Cond swapCond(Cond c);
+
+/** Assembler mnemonic suffix, e.g. "eq", "ltu", "always". */
+std::string condName(Cond c);
+
+/** Parse a mnemonic suffix; returns false on unknown names. */
+bool parseCond(const std::string &name, Cond *out);
+
+} // namespace mips::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Textual disassembly of instruction words.
+ *
+ * The syntax matches what the assembler in src/asm accepts, so
+ * assemble(disassemble(p)) round-trips. Packed words print both pieces
+ * separated by " | ".
+ */
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace mips::isa {
+
+/** Disassemble one ALU piece. */
+std::string disasmAlu(const AluPiece &p);
+
+/** Disassemble one memory piece. */
+std::string disasmMem(const MemPiece &p);
+
+/**
+ * Disassemble a whole word. `pc` (the word's own address) is used to
+ * print absolute branch targets next to relative offsets.
+ */
+std::string disasm(const Instruction &inst, uint32_t pc = 0);
+
+} // namespace mips::isa

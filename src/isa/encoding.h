@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binary encoding of instruction words.
+ *
+ * The paper fixes the *budget* (every instruction is one 32-bit word,
+ * pieces share the word, register fields are 4 bits, inline constants
+ * are 4 bits, move-immediate is 8 bits) but not the exact bit layout;
+ * the layout below is this reproduction's rendition. Format selector
+ * in bits [31:29]:
+ *
+ *   0  SPECIAL   sub[28:25]; TRAP code[24:13]; MFS/MTS reg[24:21]
+ *                sreg[20:18].  Word 0 is the canonical no-op.
+ *   1  ALU       op[28:23] rd[22:19] rs[18:15] isimm[14] src2[13:10]
+ *                cond[9:6]; MOVI8 keeps imm8 in [13:6].
+ *   2  MEM       mode[28:26] store[25] rd[24:21]; payload in [20:0]:
+ *                LONG_IMM imm21 / ABSOLUTE addr21 /
+ *                DISP base[20:17] disp17[16:0] /
+ *                BASE_INDEX base[20:17] index[16:13] /
+ *                BASE_SHIFT base[20:17] index[16:13] shift[12:10]
+ *   3  PACKED    store[28] memrd[27:24] base[23:20] disp4[19:16]
+ *                aluop3[15:13] alurd[12:9] alurs[8:5] isimm[4]
+ *                src2[3:0]
+ *   4  BRANCH    cond[28:25] rs[24:21] isimm[20] src2[19:16]
+ *                offset16[15:0] (signed words, relative to PC+1)
+ *   5  JUMP      sub[28:27]; DIRECT addr24[23:0] /
+ *                INDIRECT reg[26:23] /
+ *                CALL_DIRECT link[26:23] addr23[22:0] /
+ *                CALL_INDIRECT link[26:23] reg[22:19]
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+#include "support/result.h"
+
+namespace mips::isa {
+
+/**
+ * Encode an instruction word. The instruction must pass validate();
+ * violations are internal errors (panic), since construction sites are
+ * expected to validate user input themselves.
+ */
+uint32_t encode(const Instruction &inst);
+
+/**
+ * Decode a 32-bit word. Unused encodings yield an error (the simulator
+ * turns that into an illegal-instruction exception rather than
+ * crashing, since programs can jump into data).
+ */
+support::Result<Instruction> decode(uint32_t word);
+
+} // namespace mips::isa

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The 32-bit instruction word: a container of pieces.
+ *
+ * An instruction word holds at most one ALU piece plus at most one
+ * transfer piece (memory, branch, jump, or special). The packed
+ * ALU+memory combination is the paper's "instruction pieces ... packed
+ * into one 32-bit word" (Section 4.2.1); packing is what lets an
+ * instruction use both the ALU and the data-memory interface in one
+ * cycle, and unpacked ALU-only words are what leave the *free memory
+ * cycles* of Section 3.1.
+ *
+ * This header also exposes the register read/write sets used by the
+ * reorganizer's dependence analysis.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/alu.h"
+#include "isa/branch.h"
+#include "isa/mem.h"
+#include "isa/special.h"
+
+namespace mips::isa {
+
+/** A decoded 32-bit instruction word. */
+struct Instruction
+{
+    std::optional<AluPiece> alu;
+    std::optional<MemPiece> mem;
+    std::optional<BranchPiece> branch;
+    std::optional<JumpPiece> jump;
+    std::optional<SpecialPiece> special;
+
+    /** A word with no pieces is a no-op. */
+    bool
+    isNop() const
+    {
+        return !alu && !mem && !branch && !jump && !special &&
+               true;
+    }
+
+    /** True if the word ends a basic block (branch/jump/trap/rfe/halt). */
+    bool isControlTransfer() const;
+
+    /** True if the word contains a load or store that touches memory. */
+    bool referencesMemory() const;
+
+    /** True if the word contains a store. */
+    bool isStore() const;
+
+    /** True if the word contains a memory-referencing load. */
+    bool isLoad() const;
+
+    bool operator==(const Instruction &) const = default;
+
+    // --- Constructors for the common shapes ---------------------------
+
+    static Instruction makeNop();
+    static Instruction makeAlu(AluPiece p);
+    static Instruction makeMem(MemPiece p);
+    static Instruction makePacked(AluPiece a, MemPiece m);
+    static Instruction makeBranch(BranchPiece p);
+    static Instruction makeJump(JumpPiece p);
+    static Instruction makeSpecial(SpecialPiece p);
+    static Instruction makeHalt();
+    static Instruction makeTrap(uint16_t code);
+};
+
+/**
+ * Register read/write summary of an instruction word, used for
+ * dependence analysis. GPRs are a 16-bit mask; the special state bits
+ * cover the LO byte selector and "any special processor register"
+ * (surprise register etc., which the reorganizer never reorders across).
+ */
+struct RegUse
+{
+    uint16_t gpr_reads = 0;
+    uint16_t gpr_writes = 0;
+    bool reads_lo = false;
+    bool writes_lo = false;
+    bool touches_system_state = false; ///< MFS/MTS/RFE/TRAP/HALT
+    bool reads_memory = false;
+    bool writes_memory = false;
+
+    bool
+    readsGpr(Reg r) const
+    {
+        return (gpr_reads >> r) & 1;
+    }
+
+    bool
+    writesGpr(Reg r) const
+    {
+        return (gpr_writes >> r) & 1;
+    }
+};
+
+/** Compute the register/memory use summary for a word. */
+RegUse regUse(const Instruction &inst);
+
+/** Register/memory use of a single ALU piece. */
+RegUse regUseAlu(const AluPiece &p);
+
+/** Register/memory use of a single memory piece. */
+RegUse regUseMem(const MemPiece &p);
+
+/**
+ * Validate an instruction word against the encoding rules. Returns an
+ * empty string when valid, otherwise a description of the violation.
+ *
+ * Rules: at most one of {mem, branch, jump, special}; an ALU piece may
+ * share a word only with a memory piece, and then only if canPack()
+ * allows the combination.
+ */
+std::string validate(const Instruction &inst);
+
+/**
+ * True if this ALU piece and memory piece fit the packed word format:
+ * the ALU op must be in the compact 3-bit set {ADD, SUB, AND, OR, XOR,
+ * SLL, XC, IC} and the memory piece must be displacement(base) with an
+ * unsigned 4-bit displacement.
+ */
+bool canPack(const AluPiece &a, const MemPiece &m);
+
+/** True if this ALU op is encodable in the packed format. */
+bool aluOpPackable(AluOp op);
+
+} // namespace mips::isa

@@ -1,0 +1,94 @@
+#include "isa/mem.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace mips::isa {
+
+uint32_t
+memEffectiveAddress(const MemPiece &piece, uint32_t base_val,
+                    uint32_t index_val)
+{
+    switch (piece.mode) {
+      case MemMode::LONG_IMM:
+        support::panic("memEffectiveAddress on LONG_IMM");
+      case MemMode::ABSOLUTE:
+        return static_cast<uint32_t>(piece.imm);
+      case MemMode::DISP:
+        return base_val + static_cast<uint32_t>(piece.imm);
+      case MemMode::BASE_INDEX:
+        return base_val + index_val;
+      case MemMode::BASE_SHIFT:
+        return base_val + (index_val >> piece.shift);
+    }
+    support::panic("memEffectiveAddress: bad mode %d",
+                   static_cast<int>(piece.mode));
+}
+
+bool
+memReferencesMemory(const MemPiece &piece)
+{
+    return piece.mode != MemMode::LONG_IMM;
+}
+
+bool
+memReadsBase(const MemPiece &piece)
+{
+    return piece.mode == MemMode::DISP ||
+           piece.mode == MemMode::BASE_INDEX ||
+           piece.mode == MemMode::BASE_SHIFT;
+}
+
+bool
+memReadsIndex(const MemPiece &piece)
+{
+    return piece.mode == MemMode::BASE_INDEX ||
+           piece.mode == MemMode::BASE_SHIFT;
+}
+
+std::string
+memModeName(MemMode mode)
+{
+    switch (mode) {
+      case MemMode::LONG_IMM:   return "long-immediate";
+      case MemMode::ABSOLUTE:   return "absolute";
+      case MemMode::DISP:       return "displacement(base)";
+      case MemMode::BASE_INDEX: return "(base+index)";
+      case MemMode::BASE_SHIFT: return "base-shifted";
+    }
+    support::panic("memModeName: bad mode %d", static_cast<int>(mode));
+}
+
+std::string
+memValidate(const MemPiece &piece)
+{
+    using support::fitsSigned;
+    using support::fitsUnsigned;
+
+    switch (piece.mode) {
+      case MemMode::LONG_IMM:
+        if (piece.is_store)
+            return "long-immediate must be a load";
+        if (!fitsSigned(piece.imm, kLongImmBits))
+            return "long-immediate constant out of range";
+        break;
+      case MemMode::ABSOLUTE:
+        if (piece.imm < 0 ||
+            !fitsUnsigned(static_cast<uint64_t>(piece.imm), kAbsoluteBits))
+            return "absolute address out of range";
+        break;
+      case MemMode::DISP:
+        if (!fitsSigned(piece.imm, kDispBits))
+            return "displacement out of range";
+        break;
+      case MemMode::BASE_INDEX:
+        break;
+      case MemMode::BASE_SHIFT:
+        if (piece.shift > support::mask(kShiftBits))
+            return "shift amount out of range";
+        break;
+    }
+    return "";
+}
+
+} // namespace mips::isa

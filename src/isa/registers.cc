@@ -1,0 +1,31 @@
+#include "isa/registers.h"
+
+#include "support/logging.h"
+
+namespace mips::isa {
+
+std::string
+regName(Reg r)
+{
+    if (!isValidReg(r))
+        support::panic("regName: bad register %d", r);
+    return support::strprintf("r%d", r);
+}
+
+std::string
+specialRegName(SpecialReg r)
+{
+    switch (r) {
+      case SpecialReg::LO:       return "lo";
+      case SpecialReg::SURPRISE: return "sr";
+      case SpecialReg::SEG_BITS: return "segbits";
+      case SpecialReg::SEG_PID:  return "segpid";
+      case SpecialReg::RA0:      return "ra0";
+      case SpecialReg::RA1:      return "ra1";
+      case SpecialReg::RA2:      return "ra2";
+      case SpecialReg::FAULT:    return "fault";
+    }
+    support::panic("specialRegName: bad register %d", static_cast<int>(r));
+}
+
+} // namespace mips::isa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register definitions for the MIPS-82 ISA rendition.
+ *
+ * The paper's MIPS uses 4-bit register fields (a 4-bit constant can take
+ * the place of a register field), so this rendition has 16 general
+ * registers. r0 reads as zero and ignores writes, which gives the
+ * compare-with-zero and clear idioms for free.
+ *
+ * Besides the GPRs there is a small set of special processor registers:
+ * the byte-selector LO used by the insert-byte instruction (the paper:
+ * "for insert the byte pointer must be moved to a special register"),
+ * the *surprise register* holding all miscellaneous processor state
+ * (privilege, enables, exception cause), the segmentation registers of
+ * the on-chip mapping unit, and the three exception return addresses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mips::isa {
+
+/** A general-purpose register index, 0..15. r0 is hardwired to zero. */
+using Reg = uint8_t;
+
+/** Number of general registers (4-bit register fields). */
+constexpr int kNumRegs = 16;
+
+/** The hardwired-zero register. */
+constexpr Reg kZeroReg = 0;
+
+/** Conventional link register used by call pseudo-instructions. */
+constexpr Reg kLinkReg = 15;
+
+/** Conventional stack pointer used by the compiler's runtime model. */
+constexpr Reg kStackReg = 14;
+
+/** Conventional global/static-area pointer used by the compiler. */
+constexpr Reg kGlobalReg = 13;
+
+/** True for a representable register index. */
+constexpr bool
+isValidReg(int r)
+{
+    return r >= 0 && r < kNumRegs;
+}
+
+/** Special (non-GPR) processor registers. */
+enum class SpecialReg : uint8_t
+{
+    /** Byte selector consumed by the insert-byte instruction. */
+    LO = 0,
+    /** The surprise register (processor status word). */
+    SURPRISE = 1,
+    /** On-chip segmentation: number of masked top bits (n). */
+    SEG_BITS = 2,
+    /** On-chip segmentation: process identification number. */
+    SEG_PID = 3,
+    /** Exception return addresses (a branch delay of two needs three). */
+    RA0 = 4,
+    RA1 = 5,
+    RA2 = 6,
+    /** Faulting system-virtual (or physical) address of the last
+     *  page fault / address error, for the OS pager. */
+    FAULT = 7,
+};
+
+/** Number of encodable special registers. */
+constexpr int kNumSpecialRegs = 8;
+
+/** "r4"-style name for a general register. */
+std::string regName(Reg r);
+
+/** Symbolic name for a special register. */
+std::string specialRegName(SpecialReg r);
+
+} // namespace mips::isa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Special (system) instruction pieces.
+ *
+ * These carry the paper's Section 3 machinery: software traps with a
+ * 12-bit code ("allowing 4096 different monitor calls"), reads/writes
+ * of the surprise register and the on-chip segmentation registers
+ * (the only privileged instructions), return-from-exception, and a
+ * HALT used by the simulator harness.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "isa/registers.h"
+
+namespace mips::isa {
+
+/** Special operations (4-bit subcode). */
+enum class SpecialOp : uint8_t
+{
+    NOP = 0,   ///< explicit no-op (inserted by the reorganizer)
+    TRAP = 1,  ///< software trap with 12-bit code
+    RFE = 2,   ///< return from exception: restore privilege + mapping
+    MFS = 3,   ///< rd = special register (privileged for most)
+    MTS = 4,   ///< special register = rs (privileged)
+    HALT = 15, ///< stop simulation (testing harness convenience)
+};
+
+/** Width of the software-trap code field. */
+constexpr int kTrapCodeBits = 12;
+
+/** One special piece. */
+struct SpecialPiece
+{
+    SpecialOp op = SpecialOp::NOP;
+    uint16_t trap_code = 0;  ///< TRAP: 0..4095
+    Reg reg = kZeroReg;      ///< MFS destination / MTS source
+    SpecialReg sreg = SpecialReg::LO; ///< MFS/MTS target
+
+    bool operator==(const SpecialPiece &) const = default;
+};
+
+/**
+ * True if executing this special op requires supervisor privilege.
+ * The paper: "The only instructions that require supervisor privilege
+ * are those that read and write the surprise register and the on-chip
+ * segmentation registers." LO (the byte selector) is user-accessible;
+ * so is reading the saved return addresses.
+ */
+bool specialRequiresPrivilege(const SpecialPiece &piece);
+
+} // namespace mips::isa

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Abstract syntax for the Pascal-like language.
+ *
+ * The language is the slice of Pascal the paper's data set exercises:
+ * integer/char/boolean scalars, (packed) arrays, constants,
+ * procedures and functions with scalar value parameters, the usual
+ * structured statements, and console-output builtins. Multiplication
+ * and division lower to runtime routines (the hardware has only
+ * multiply/divide *steps*, in keeping with the paper's minimal-ALU
+ * stance).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plc/token.h"
+
+namespace mips::plc {
+
+/** Scalar base types. */
+enum class BaseType : uint8_t
+{
+    INTEGER,
+    CHAR,
+    BOOLEAN,
+};
+
+std::string baseTypeName(BaseType type);
+
+/** A (possibly array) type. */
+struct Type
+{
+    BaseType base = BaseType::INTEGER;
+    bool is_array = false;
+    bool packed = false; ///< `packed array`: always byte-allocated
+    int32_t lo = 0;      ///< array index range, inclusive
+    int32_t hi = 0;
+
+    int32_t
+    elementCount() const
+    {
+        return hi - lo + 1;
+    }
+
+    bool operator==(const Type &) const = default;
+};
+
+struct Symbol; // defined in sema.h
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        INT_LIT,
+        CHAR_LIT,
+        BOOL_LIT,
+        VAR,    ///< scalar variable or named constant
+        INDEX,  ///< array[index]
+        BINOP,  ///< lhs op rhs
+        UNOP,   ///< op lhs (NOT, unary minus)
+        CALL,   ///< function call (including ord/chr builtins)
+    };
+
+    Kind kind = Kind::INT_LIT;
+    int line = 0;
+
+    int32_t int_value = 0;  ///< INT_LIT
+    char char_value = 0;    ///< CHAR_LIT
+    bool bool_value = false;///< BOOL_LIT
+    std::string name;       ///< VAR / INDEX / CALL
+    Tok op = Tok::PLUS;     ///< BINOP / UNOP
+    std::unique_ptr<Expr> lhs, rhs;
+    std::vector<std::unique_ptr<Expr>> args; ///< CALL
+
+    // Filled by semantic analysis.
+    BaseType type = BaseType::INTEGER;
+    const Symbol *symbol = nullptr; ///< VAR / INDEX / CALL target
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        ASSIGN,  ///< name[index]? := value
+        IF,
+        WHILE,
+        REPEAT,
+        FOR,
+        CALL,    ///< procedure call (including write builtins)
+        EMPTY,
+    };
+
+    Kind kind = Kind::EMPTY;
+    int line = 0;
+
+    std::string name;   ///< ASSIGN target / FOR variable / CALL name
+    ExprPtr index;      ///< ASSIGN to array element
+    ExprPtr value;      ///< ASSIGN right-hand side
+    ExprPtr cond;       ///< IF / WHILE / REPEAT(until)
+    ExprPtr from, to;   ///< FOR bounds
+    bool downto = false;
+    std::vector<std::unique_ptr<Stmt>> body;
+    std::vector<std::unique_ptr<Stmt>> else_body; ///< IF only
+    std::vector<ExprPtr> args; ///< CALL
+
+    // Filled by semantic analysis.
+    const Symbol *symbol = nullptr; ///< ASSIGN/FOR/CALL target
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Named constant declaration. */
+struct ConstDecl
+{
+    std::string name;
+    int32_t value = 0;
+    bool is_char = false;
+    int line = 0;
+};
+
+/** Variable declaration. */
+struct VarDecl
+{
+    std::string name;
+    Type type;
+    int line = 0;
+};
+
+/** Scalar value parameter. */
+struct Param
+{
+    std::string name;
+    BaseType type = BaseType::INTEGER;
+};
+
+/** Procedure or function. */
+struct Routine
+{
+    std::string name;
+    bool is_function = false;
+    BaseType return_type = BaseType::INTEGER;
+    std::vector<Param> params;
+    std::vector<ConstDecl> consts;
+    std::vector<VarDecl> locals;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+/** A whole program. */
+struct ProgramAst
+{
+    std::string name;
+    std::vector<ConstDecl> consts;
+    std::vector<VarDecl> globals;
+    std::vector<Routine> routines;
+    std::vector<StmtPtr> body;
+};
+
+} // namespace mips::plc

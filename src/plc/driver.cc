@@ -1,0 +1,33 @@
+#include "plc/driver.h"
+
+#include "plc/optimize.h"
+
+namespace mips::plc {
+
+support::Result<Executable>
+buildExecutable(std::string_view source,
+                const CompileOptions &compile_options,
+                const reorg::ReorgOptions &reorg_options)
+{
+    auto compiled = compile(source, compile_options);
+    if (!compiled.ok())
+        return compiled.error();
+
+    Executable exe;
+    exe.asm_text = compiled.value().asm_text;
+    exe.legal_unit = std::move(compiled.value().unit);
+    exe.peephole = eliminateRedundantLoads(&exe.legal_unit);
+
+    reorg::ReorgResult reorganized =
+        reorg::reorganize(exe.legal_unit, reorg_options);
+    exe.reorg_stats = reorganized.stats;
+    exe.final_unit = std::move(reorganized.unit);
+
+    auto program = assembler::link(exe.final_unit);
+    if (!program.ok())
+        return program.error();
+    exe.program = program.take();
+    return exe;
+}
+
+} // namespace mips::plc

@@ -1,0 +1,263 @@
+#include "plc/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace mips::plc {
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::END_OF_FILE: return "end of file";
+      case Tok::IDENT:       return "identifier";
+      case Tok::INT_LIT:     return "integer literal";
+      case Tok::CHAR_LIT:    return "character literal";
+      case Tok::KW_PROGRAM:  return "'program'";
+      case Tok::KW_CONST:    return "'const'";
+      case Tok::KW_VAR:      return "'var'";
+      case Tok::KW_ARRAY:    return "'array'";
+      case Tok::KW_OF:       return "'of'";
+      case Tok::KW_PACKED:   return "'packed'";
+      case Tok::KW_INTEGER:  return "'integer'";
+      case Tok::KW_CHAR:     return "'char'";
+      case Tok::KW_BOOLEAN:  return "'boolean'";
+      case Tok::KW_PROCEDURE: return "'procedure'";
+      case Tok::KW_FUNCTION: return "'function'";
+      case Tok::KW_BEGIN:    return "'begin'";
+      case Tok::KW_END:      return "'end'";
+      case Tok::KW_IF:       return "'if'";
+      case Tok::KW_THEN:     return "'then'";
+      case Tok::KW_ELSE:     return "'else'";
+      case Tok::KW_WHILE:    return "'while'";
+      case Tok::KW_DO:       return "'do'";
+      case Tok::KW_REPEAT:   return "'repeat'";
+      case Tok::KW_UNTIL:    return "'until'";
+      case Tok::KW_FOR:      return "'for'";
+      case Tok::KW_TO:       return "'to'";
+      case Tok::KW_DOWNTO:   return "'downto'";
+      case Tok::KW_AND:      return "'and'";
+      case Tok::KW_OR:       return "'or'";
+      case Tok::KW_NOT:      return "'not'";
+      case Tok::KW_DIV:      return "'div'";
+      case Tok::KW_MOD:      return "'mod'";
+      case Tok::KW_TRUE:     return "'true'";
+      case Tok::KW_FALSE:    return "'false'";
+      case Tok::LPAREN:      return "'('";
+      case Tok::RPAREN:      return "')'";
+      case Tok::LBRACKET:    return "'['";
+      case Tok::RBRACKET:    return "']'";
+      case Tok::COMMA:       return "','";
+      case Tok::SEMI:        return "';'";
+      case Tok::COLON:       return "':'";
+      case Tok::DOT:         return "'.'";
+      case Tok::DOTDOT:      return "'..'";
+      case Tok::ASSIGN:      return "':='";
+      case Tok::PLUS:        return "'+'";
+      case Tok::MINUS:       return "'-'";
+      case Tok::STAR:        return "'*'";
+      case Tok::EQ:          return "'='";
+      case Tok::NE:          return "'<>'";
+      case Tok::LT:          return "'<'";
+      case Tok::LE:          return "'<='";
+      case Tok::GT:          return "'>'";
+      case Tok::GE:          return "'>='";
+    }
+    support::panic("tokName: bad token kind");
+}
+
+namespace {
+
+const std::map<std::string, Tok> &
+keywords()
+{
+    static const std::map<std::string, Tok> map = {
+        {"program", Tok::KW_PROGRAM}, {"const", Tok::KW_CONST},
+        {"var", Tok::KW_VAR}, {"array", Tok::KW_ARRAY},
+        {"of", Tok::KW_OF}, {"packed", Tok::KW_PACKED},
+        {"integer", Tok::KW_INTEGER}, {"char", Tok::KW_CHAR},
+        {"boolean", Tok::KW_BOOLEAN},
+        {"procedure", Tok::KW_PROCEDURE},
+        {"function", Tok::KW_FUNCTION},
+        {"begin", Tok::KW_BEGIN}, {"end", Tok::KW_END},
+        {"if", Tok::KW_IF}, {"then", Tok::KW_THEN},
+        {"else", Tok::KW_ELSE}, {"while", Tok::KW_WHILE},
+        {"do", Tok::KW_DO}, {"repeat", Tok::KW_REPEAT},
+        {"until", Tok::KW_UNTIL}, {"for", Tok::KW_FOR},
+        {"to", Tok::KW_TO}, {"downto", Tok::KW_DOWNTO},
+        {"and", Tok::KW_AND}, {"or", Tok::KW_OR},
+        {"not", Tok::KW_NOT}, {"div", Tok::KW_DIV},
+        {"mod", Tok::KW_MOD}, {"true", Tok::KW_TRUE},
+        {"false", Tok::KW_FALSE},
+    };
+    return map;
+}
+
+} // namespace
+
+support::Result<std::vector<Token>>
+lex(std::string_view src)
+{
+    std::vector<Token> out;
+    int line = 1, column = 1;
+    size_t i = 0;
+
+    auto advance = [&](size_t n = 1) {
+        for (size_t k = 0; k < n && i < src.size(); ++k) {
+            if (src[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+            ++i;
+        }
+    };
+    auto error = [&](const std::string &message) {
+        return support::Error{message, line, column};
+    };
+    auto push = [&](Tok kind, int tok_line, int tok_col) -> Token & {
+        Token t;
+        t.kind = kind;
+        t.line = tok_line;
+        t.column = tok_col;
+        out.push_back(t);
+        return out.back();
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Comments.
+        if (c == '{') {
+            while (i < src.size() && src[i] != '}')
+                advance();
+            if (i == src.size())
+                return error("unterminated { comment");
+            advance();
+            continue;
+        }
+        if (c == '(' && i + 1 < src.size() && src[i + 1] == '*') {
+            advance(2);
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == ')')) {
+                advance();
+            }
+            if (i + 1 >= src.size())
+                return error("unterminated (* comment");
+            advance(2);
+            continue;
+        }
+
+        int tok_line = line, tok_col = column;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_')) {
+                ident += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(src[i])));
+                advance();
+            }
+            auto it = keywords().find(ident);
+            Token &t = push(it != keywords().end() ? it->second
+                                                   : Tok::IDENT,
+                            tok_line, tok_col);
+            t.text = ident;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            int64_t value = 0;
+            while (i < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[i]))) {
+                value = value * 10 + (src[i] - '0');
+                if (value > 0x7fffffffLL)
+                    return error("integer literal too large");
+                advance();
+            }
+            Token &t = push(Tok::INT_LIT, tok_line, tok_col);
+            t.int_value = static_cast<int32_t>(value);
+            continue;
+        }
+
+        if (c == '\'') {
+            if (i + 2 >= src.size() || src[i + 2] != '\'')
+                return error("bad character literal");
+            Token &t = push(Tok::CHAR_LIT, tok_line, tok_col);
+            t.char_value = src[i + 1];
+            advance(3);
+            continue;
+        }
+
+        auto two = [&](char second) {
+            return i + 1 < src.size() && src[i + 1] == second;
+        };
+        switch (c) {
+          case '(': push(Tok::LPAREN, tok_line, tok_col); advance(); break;
+          case ')': push(Tok::RPAREN, tok_line, tok_col); advance(); break;
+          case '[': push(Tok::LBRACKET, tok_line, tok_col); advance(); break;
+          case ']': push(Tok::RBRACKET, tok_line, tok_col); advance(); break;
+          case ',': push(Tok::COMMA, tok_line, tok_col); advance(); break;
+          case ';': push(Tok::SEMI, tok_line, tok_col); advance(); break;
+          case '+': push(Tok::PLUS, tok_line, tok_col); advance(); break;
+          case '-': push(Tok::MINUS, tok_line, tok_col); advance(); break;
+          case '*': push(Tok::STAR, tok_line, tok_col); advance(); break;
+          case '=': push(Tok::EQ, tok_line, tok_col); advance(); break;
+          case ':':
+            if (two('=')) {
+                push(Tok::ASSIGN, tok_line, tok_col);
+                advance(2);
+            } else {
+                push(Tok::COLON, tok_line, tok_col);
+                advance();
+            }
+            break;
+          case '.':
+            if (two('.')) {
+                push(Tok::DOTDOT, tok_line, tok_col);
+                advance(2);
+            } else {
+                push(Tok::DOT, tok_line, tok_col);
+                advance();
+            }
+            break;
+          case '<':
+            if (two('=')) {
+                push(Tok::LE, tok_line, tok_col);
+                advance(2);
+            } else if (two('>')) {
+                push(Tok::NE, tok_line, tok_col);
+                advance(2);
+            } else {
+                push(Tok::LT, tok_line, tok_col);
+                advance();
+            }
+            break;
+          case '>':
+            if (two('=')) {
+                push(Tok::GE, tok_line, tok_col);
+                advance(2);
+            } else {
+                push(Tok::GT, tok_line, tok_col);
+                advance();
+            }
+            break;
+          default:
+            return error(support::strprintf("unexpected character '%c'",
+                                            c));
+        }
+    }
+
+    push(Tok::END_OF_FILE, line, column);
+    return out;
+}
+
+} // namespace mips::plc

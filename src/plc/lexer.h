@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lexer for the Pascal-like source language.
+ *
+ * Comments are `{ ... }` or `(* ... *)`. Identifiers and keywords are
+ * case-insensitive (folded to lower case). Character literals are
+ * 'x'; '' inside a literal is not supported (the corpus does not need
+ * it). Integer literals are decimal.
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "plc/token.h"
+#include "support/result.h"
+
+namespace mips::plc {
+
+/** Tokenize a whole source; the last token is END_OF_FILE. */
+support::Result<std::vector<Token>> lex(std::string_view source);
+
+} // namespace mips::plc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Machine-level peephole optimization on legal code.
+ *
+ * The code generator is deliberately naive (one statement at a time,
+ * every variable reference a memory reference). This pass applies the
+ * classic local cleanup a production compiler of the period performed:
+ * *redundant load elimination* — a load from a location whose value is
+ * already known to be in a register (because the block stored or
+ * loaded it earlier with no intervening invalidation) becomes a
+ * register copy. This is Section 4.2's "applying better compiler
+ * technology": the cleanup costs one compile-time pass and removes
+ * both memory traffic and the load-delay slots the reorganizer would
+ * otherwise have to fill.
+ *
+ * The pass runs on legal (sequential-semantics) code before the
+ * reorganizer.
+ */
+#pragma once
+
+#include "asm/unit.h"
+
+namespace mips::plc {
+
+/** Statistics from one optimization run. */
+struct PeepholeStats
+{
+    size_t loads_eliminated = 0;
+};
+
+/** Eliminate locally redundant loads in place. */
+PeepholeStats eliminateRedundantLoads(assembler::Unit *unit);
+
+} // namespace mips::plc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tokens of the Pascal-like source language.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mips::plc {
+
+/** Token kinds. Keywords are folded case-insensitively. */
+enum class Tok
+{
+    END_OF_FILE,
+    IDENT,
+    INT_LIT,
+    CHAR_LIT,
+
+    // Keywords.
+    KW_PROGRAM, KW_CONST, KW_VAR, KW_ARRAY, KW_OF, KW_PACKED,
+    KW_INTEGER, KW_CHAR, KW_BOOLEAN,
+    KW_PROCEDURE, KW_FUNCTION,
+    KW_BEGIN, KW_END, KW_IF, KW_THEN, KW_ELSE,
+    KW_WHILE, KW_DO, KW_REPEAT, KW_UNTIL, KW_FOR, KW_TO, KW_DOWNTO,
+    KW_AND, KW_OR, KW_NOT, KW_DIV, KW_MOD,
+    KW_TRUE, KW_FALSE,
+
+    // Punctuation and operators.
+    LPAREN, RPAREN, LBRACKET, RBRACKET,
+    COMMA, SEMI, COLON, DOT, DOTDOT,
+    ASSIGN,   // :=
+    PLUS, MINUS, STAR,
+    EQ, NE, LT, LE, GT, GE,
+};
+
+/** One token with its source position. */
+struct Token
+{
+    Tok kind = Tok::END_OF_FILE;
+    std::string text;    ///< identifier spelling (lowercased)
+    int32_t int_value = 0;
+    char char_value = 0;
+    int line = 0;
+    int column = 0;
+};
+
+/** Printable token-kind name for diagnostics. */
+std::string tokName(Tok kind);
+
+} // namespace mips::plc

@@ -1,0 +1,124 @@
+#include "reorg/dag.h"
+
+#include <algorithm>
+
+#include "isa/instruction.h"
+
+namespace mips::reorg {
+
+using assembler::Item;
+using isa::MemMode;
+using isa::MemPiece;
+using isa::RegUse;
+
+bool
+Dag::mayAlias(const MemPiece &a, const MemPiece &b, uint16_t block_written,
+              const AliasOptions &alias)
+{
+    if (!isa::memReferencesMemory(a) || !isa::memReferencesMemory(b))
+        return false;
+
+    auto isVolatile = [&alias](const MemPiece &m) {
+        return m.mode == MemMode::ABSOLUTE &&
+               static_cast<uint32_t>(m.imm) >= alias.volatile_base;
+    };
+    if (isVolatile(a) || isVolatile(b))
+        return true;
+
+    // Distinct absolute addresses never alias.
+    if (a.mode == MemMode::ABSOLUTE && b.mode == MemMode::ABSOLUTE)
+        return a.imm == b.imm;
+
+    // Same never-redefined base with distinct displacements cannot
+    // alias; everything else is conservatively assumed to.
+    if (a.mode == MemMode::DISP && b.mode == MemMode::DISP &&
+        a.base == b.base &&
+        ((block_written >> a.base) & 1) == 0) {
+        return a.imm == b.imm;
+    }
+    return true;
+}
+
+Dag::Dag(const std::vector<Item> &items, const AliasOptions &alias)
+{
+    nodes_.reserve(items.size());
+    for (const Item &item : items)
+        nodes_.push_back(DagNode{item, {}, 0, false});
+
+    // Registers written anywhere in the block (for alias analysis).
+    uint16_t block_written = 0;
+    std::vector<RegUse> uses;
+    uses.reserve(items.size());
+    for (const Item &item : items) {
+        uses.push_back(item.is_data ? RegUse{}
+                                    : isa::regUse(item.inst));
+        block_written |= uses.back().gpr_writes;
+    }
+
+    for (int j = 0; j < static_cast<int>(items.size()); ++j) {
+        for (int i = 0; i < j; ++i) {
+            const RegUse &u = uses[i];
+            const RegUse &v = uses[j];
+            bool dep = false;
+
+            // Data items are immovable relative to everything.
+            if (items[i].is_data || items[j].is_data)
+                dep = true;
+
+            // Register dependences: RAW, WAR, WAW.
+            if ((u.gpr_writes & v.gpr_reads) ||
+                (u.gpr_reads & v.gpr_writes) ||
+                (u.gpr_writes & v.gpr_writes)) {
+                dep = true;
+            }
+
+            // The LO byte selector behaves like a register.
+            if ((u.writes_lo && (v.reads_lo || v.writes_lo)) ||
+                (u.reads_lo && v.writes_lo)) {
+                dep = true;
+            }
+
+            // System state is a full barrier.
+            if (u.touches_system_state || v.touches_system_state)
+                dep = true;
+
+            // Memory: conservative aliasing, stores never commute.
+            if (!dep && items[i].inst.mem && items[j].inst.mem) {
+                bool either_store = items[i].inst.mem->is_store ||
+                                    items[j].inst.mem->is_store;
+                if (either_store &&
+                    mayAlias(*items[i].inst.mem, *items[j].inst.mem,
+                             block_written, alias)) {
+                    dep = true;
+                }
+            }
+
+            // Everything before a control transfer that it depends on
+            // is covered above; additionally a transfer must not move
+            // before anything (it is the terminator), which the
+            // scheduler enforces positionally.
+
+            if (dep)
+                addEdge(i, j);
+        }
+    }
+}
+
+void
+Dag::addEdge(int from, int to)
+{
+    auto &succs = nodes_[from].succs;
+    if (std::find(succs.begin(), succs.end(), to) == succs.end()) {
+        succs.push_back(to);
+        ++nodes_[to].pred_count;
+    }
+}
+
+bool
+Dag::hasEdge(int from, int to) const
+{
+    const auto &succs = nodes_[from].succs;
+    return std::find(succs.begin(), succs.end(), to) != succs.end();
+}
+
+} // namespace mips::reorg

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The code reorganizer: the paper's software replacement for pipeline
+ * interlock hardware (Section 4.2.1).
+ *
+ * Input is *legal code*: a Unit whose instructions assume sequential
+ * (interlocked-machine) semantics — every instruction sees the results
+ * of all earlier ones and control transfers act immediately. Output is
+ * a Unit that executes equivalently on the interlock-free pipeline:
+ *
+ *  1. **Reorganization** — within each basic block, instructions are
+ *     list-scheduled over a dependence DAG so that load-delay hazards
+ *     are covered by useful instructions where possible; no-ops are
+ *     inserted only when nothing can be moved.
+ *  2. **Packing** — an ALU piece and a memory piece with no dependence
+ *     between them share one 32-bit word when the packed format allows.
+ *  3. **Branch-delay filling** — the three schemes of Section 4.2.1:
+ *     (1) move an independent instruction from before the branch into
+ *     the slot; (2) for an unconditional branch, duplicate the target
+ *     instruction and retarget past it; (3) for a conditional branch,
+ *     hoist the fall-through successor into the slot when its results
+ *     are dead on the taken path (computed by a global liveness pass).
+ *
+ * Each stage can be toggled independently, which is how the Table 11
+ * experiment measures the cumulative improvements. `.noreorder`
+ * regions pass through untouched ("the front end ... emits a pseudo-op
+ * which tells the reorganizer that this sequence is not to be
+ * touched").
+ *
+ * Correctness contract (tested differentially): for any legal unit U,
+ * running link(U) on the functional machine and link(reorganize(U))
+ * on the pipeline machine yields the same architectural results.
+ */
+#pragma once
+
+#include "asm/unit.h"
+#include "reorg/dag.h"
+
+namespace mips::reorg {
+
+/** Which stages run; defaults are the full reorganizer. */
+struct ReorgOptions
+{
+    bool reorder = true;    ///< schedule instead of pure no-op insertion
+    bool pack = true;       ///< ALU/memory piece packing
+    bool fill_delay = true; ///< branch-delay schemes 1-3
+    AliasOptions alias;     ///< memory disambiguation configuration
+};
+
+/** Static counters describing one reorganization. */
+struct ReorgStats
+{
+    size_t input_words = 0;
+    size_t output_words = 0;
+    size_t noops_inserted = 0;       ///< no-ops present in the output
+    size_t packed_words = 0;         ///< words carrying two pieces
+    size_t slots_filled_move = 0;    ///< scheme 1
+    size_t slots_filled_dup = 0;     ///< scheme 2
+    size_t slots_filled_hoist = 0;   ///< scheme 3
+
+    /** Static improvement over `baseline` output size. */
+    double
+    improvementOver(const ReorgStats &baseline) const
+    {
+        if (baseline.output_words == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(output_words) /
+                     static_cast<double>(baseline.output_words);
+    }
+};
+
+/** Output of the reorganizer. */
+struct ReorgResult
+{
+    assembler::Unit unit;
+    ReorgStats stats;
+};
+
+/**
+ * Reorganize a legal-code unit for the interlock-free pipeline.
+ *
+ * All control transfers in `legal` must use symbolic targets (the
+ * reorganizer moves code, so pre-resolved numeric branch offsets
+ * cannot be preserved); violations panic.
+ */
+ReorgResult reorganize(const assembler::Unit &legal,
+                       const ReorgOptions &opts = ReorgOptions{});
+
+/**
+ * Per-register liveness at block granularity, exposed for tests.
+ * Returns, for each item index that *starts* a basic block, the GPR
+ * live-in mask of that block (conservatively all-ones for blocks
+ * reached by indirect control flow or falling off the unit).
+ */
+std::vector<std::pair<size_t, uint16_t>>
+blockLiveIn(const assembler::Unit &unit);
+
+} // namespace mips::reorg

@@ -1,0 +1,420 @@
+#include "sim/cpu.h"
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "support/logging.h"
+
+namespace mips::sim {
+
+using isa::AluPiece;
+using isa::Instruction;
+using isa::MemMode;
+using isa::Reg;
+
+Cpu::Cpu(PhysMemory &memory, MappingUnit &mapping)
+    : mem_(memory), map_(mapping)
+{
+    reset();
+}
+
+void
+Cpu::reset(uint32_t pc)
+{
+    regs_.fill(0);
+    lo_ = 0;
+    sr_ = Surprise{};
+    sr_.cause = Cause::RESET;
+    ra_.fill(0);
+    load_pending_ = false;
+    shadow_ = 0;
+    halted_ = false;
+    error_.clear();
+    setPc(pc);
+}
+
+void
+Cpu::setReg(Reg r, uint32_t value)
+{
+    if (r != isa::kZeroReg)
+        regs_[r] = value;
+}
+
+void
+Cpu::setPc(uint32_t pc)
+{
+    stream_.clear();
+    stream_.push_back(pc);
+    refillStream();
+}
+
+void
+Cpu::refillStream()
+{
+    while (stream_.size() < 4)
+        stream_.push_back(stream_.back() + 1);
+}
+
+StopReason
+Cpu::simError(std::string message)
+{
+    error_ = std::move(message);
+    halted_ = true;
+    return StopReason::SIM_ERROR;
+}
+
+void
+Cpu::enter(Cause cause, uint16_t detail,
+           const std::array<uint32_t, 3> &ras)
+{
+    ++stats_.exceptions;
+    ra_ = ras;
+    sr_.enterException(cause, detail);
+    setPc(0);
+    shadow_ = 0;
+    // The offender's own shadow state dies with it; the saved
+    // three-address stream reproduces any control transfer.
+}
+
+void
+Cpu::faultAt(uint32_t cur, Cause cause, uint16_t detail)
+{
+    enter(cause, detail, {cur, stream_[0], stream_[1]});
+}
+
+void
+Cpu::interruptNow(Cause cause, uint16_t detail)
+{
+    enter(cause, detail, {stream_[0], stream_[1], stream_[2]});
+}
+
+bool
+Cpu::translateOrFault(uint32_t cur, uint32_t vaddr, bool is_write,
+                      bool is_fetch, uint32_t *phys)
+{
+    uint16_t detail = is_fetch ? kDetailIfetch : kDetailData;
+    if (!sr_.map_enable) {
+        if (vaddr >= mem_.size()) {
+            fault_addr_ = vaddr;
+            faultAt(cur, Cause::ADDRESS_ERROR, detail);
+            return false;
+        }
+        *phys = vaddr;
+        return true;
+    }
+    Translation t = map_.translate(vaddr, is_write);
+    if (!t.ok) {
+        fault_addr_ = t.cause == Cause::PAGE_FAULT ? t.fault_sva
+                                                   : t.fault_vaddr;
+        faultAt(cur, t.cause, detail);
+        return false;
+    }
+    if (t.phys >= mem_.size()) {
+        fault_addr_ = t.phys;
+        faultAt(cur, Cause::ADDRESS_ERROR, detail);
+        return false;
+    }
+    *phys = t.phys;
+    return true;
+}
+
+StopReason
+Cpu::step()
+{
+    if (halted_)
+        return error_.empty() ? StopReason::HALT : StopReason::SIM_ERROR;
+
+    // External interrupt: a single line onto the chip, sampled at
+    // instruction boundaries when enabled. Nothing has issued yet, so
+    // the resume stream is the pending stream itself.
+    if (sr_.int_enable && mem_.interruptPending())
+        interruptNow(Cause::INTERRUPT, 0);
+
+    uint32_t cur = stream_.front();
+    stream_.pop_front();
+    refillStream();
+
+    bool in_shadow = shadow_ > 0;
+    if (in_shadow)
+        --shadow_;
+
+    ++stats_.cycles;
+    mem_.setCycleCounter(stats_.cycles);
+    if (profiling_)
+        ++exec_counts_[cur];
+
+    auto commitPendingLoad = [this] {
+        if (load_pending_) {
+            setReg(load_reg_, load_value_);
+            load_pending_ = false;
+        }
+    };
+
+    // ---- Fetch -------------------------------------------------------
+    uint32_t fetch_phys = 0;
+    if (!translateOrFault(cur, cur, false, true, &fetch_phys)) {
+        commitPendingLoad(); // earlier instructions complete
+        ++stats_.free_data_cycles;
+        return StopReason::RUNNING;
+    }
+    uint32_t word = mem_.read(fetch_phys);
+
+    // ---- Decode ------------------------------------------------------
+    auto decoded = isa::decode(word);
+    if (!decoded.ok()) {
+        commitPendingLoad();
+        ++stats_.free_data_cycles;
+        faultAt(cur, Cause::ILLEGAL, 0);
+        return StopReason::RUNNING;
+    }
+    const Instruction inst = decoded.take();
+
+    bool uses_data_port = inst.referencesMemory();
+    if (!uses_data_port)
+        ++stats_.free_data_cycles;
+    if (inst.isNop())
+        ++stats_.nops;
+    if (inst.alu)
+        ++stats_.alu_pieces;
+    if (inst.alu && inst.mem)
+        ++stats_.packed_words;
+
+    // ---- Operand read (register file + bypass view) -------------------
+    // All source operands are read *before* the pending load commits:
+    // the instruction in a load's delay slot sees the old value. ALU
+    // results of the previous instruction are already in regs_ (full
+    // bypass), so only loads expose a delay.
+    isa::AluInputs alu_in;
+    if (inst.alu) {
+        const AluPiece &a = *inst.alu;
+        alu_in.rs = regs_[a.rs];
+        alu_in.src2 = a.src2.is_imm ? a.src2.imm4 : regs_[a.src2.reg];
+        alu_in.rd_old = regs_[a.rd];
+        alu_in.lo = lo_;
+    }
+    uint32_t mem_base = 0, mem_index = 0, mem_data = 0;
+    if (inst.mem) {
+        mem_base = regs_[inst.mem->base];
+        mem_index = regs_[inst.mem->index];
+        mem_data = regs_[inst.mem->rd];
+    }
+    uint32_t br_rs = 0, br_src2 = 0;
+    if (inst.branch) {
+        br_rs = regs_[inst.branch->rs];
+        br_src2 = inst.branch->src2.is_imm ? inst.branch->src2.imm4
+                                           : regs_[inst.branch->src2.reg];
+    }
+    uint32_t jump_target_val = 0;
+    if (inst.jump)
+        jump_target_val = regs_[inst.jump->target_reg];
+    uint32_t special_val = 0;
+    if (inst.special)
+        special_val = regs_[inst.special->reg];
+
+    // The previous instruction's load lands now, after this
+    // instruction's reads and before the next instruction's.
+    commitPendingLoad();
+
+    // ---- Execute: ALU piece -------------------------------------------
+    isa::AluOutputs alu_out;
+    if (inst.alu) {
+        alu_out = isa::evalAlu(*inst.alu, alu_in);
+        if (alu_out.overflow && sr_.ovf_enable) {
+            // Enabled overflow inhibits all of this word's effects.
+            faultAt(cur, Cause::OVERFLOW, 0);
+            return StopReason::RUNNING;
+        }
+    }
+
+    // ---- Execute: memory piece ----------------------------------------
+    // The memory reference must commit before any register write of
+    // the same word ("an instruction that calls for a memory reference
+    // [must] not allow register writes to take place until after the
+    // reference has been committed"), so a data fault inhibits the ALU
+    // piece too.
+    bool load_issued = false;
+    Reg load_rd = 0;
+    uint32_t load_val = 0;
+    if (inst.mem) {
+        const isa::MemPiece &m = *inst.mem;
+        if (m.mode == MemMode::LONG_IMM) {
+            // The constant is in the instruction word: no memory
+            // reference and no load delay.
+            ++stats_.long_immediates;
+            setReg(m.rd, static_cast<uint32_t>(m.imm));
+        } else {
+            uint32_t ea = isa::memEffectiveAddress(m, mem_base, mem_index);
+            uint32_t phys = 0;
+            if (!translateOrFault(cur, ea, m.is_store, false, &phys))
+                return StopReason::RUNNING;
+            if (mem_.isMmio(phys) && !sr_.supervisor) {
+                // Peripherals on the bus are protected from user-level
+                // processes (Section 3.2).
+                faultAt(cur, Cause::PRIVILEGE, 0);
+                return StopReason::RUNNING;
+            }
+            if (m.is_store) {
+                ++stats_.stores;
+                mem_.write(phys, mem_data);
+            } else {
+                ++stats_.loads;
+                load_issued = true;
+                load_rd = m.rd;
+                load_val = mem_.read(phys);
+            }
+        }
+    }
+
+    // ---- Commit: ALU piece ---------------------------------------------
+    if (inst.alu) {
+        if (alu_out.writes_rd)
+            setReg(inst.alu->rd, alu_out.rd);
+        if (alu_out.writes_lo)
+            lo_ = alu_out.lo;
+    }
+    if (load_issued) {
+        // Commits after the *next* instruction's operand read.
+        load_pending_ = true;
+        load_reg_ = load_rd;
+        load_value_ = load_val;
+    }
+
+    // ---- Control transfer ------------------------------------------------
+    if (inst.branch) {
+        ++stats_.branches;
+        if (isa::evalCond(inst.branch->cond, br_rs, br_src2)) {
+            ++stats_.branches_taken;
+            if (in_shadow) {
+                return simError(support::strprintf(
+                    "taken branch at %u inside the delay shadow of "
+                    "another transfer (architecturally undefined)",
+                    cur));
+            }
+            uint32_t target = cur + 1 +
+                static_cast<uint32_t>(inst.branch->offset);
+            stream_.resize(isa::kBranchDelay);
+            stream_.push_back(target);
+            refillStream();
+            shadow_ = isa::kBranchDelay;
+        }
+    } else if (inst.jump) {
+        ++stats_.jumps;
+        if (in_shadow) {
+            return simError(support::strprintf(
+                "jump at %u inside the delay shadow of another "
+                "transfer (architecturally undefined)", cur));
+        }
+        const isa::JumpPiece &j = *inst.jump;
+        int delay = isa::jumpDelay(j.kind);
+        uint32_t target = isa::jumpIsIndirect(j.kind) ? jump_target_val
+                                                      : j.target_addr;
+        if (isa::jumpIsCall(j.kind))
+            setReg(j.link, cur + 1 + static_cast<uint32_t>(delay));
+        stream_.resize(static_cast<size_t>(delay));
+        stream_.push_back(target);
+        refillStream();
+        shadow_ = delay;
+    } else if (inst.special) {
+        const isa::SpecialPiece &p = *inst.special;
+        if (isa::specialRequiresPrivilege(p) && !sr_.supervisor) {
+            faultAt(cur, Cause::PRIVILEGE, 0);
+            return StopReason::RUNNING;
+        }
+        switch (p.op) {
+          case isa::SpecialOp::NOP:
+            break;
+          case isa::SpecialOp::TRAP:
+            ++stats_.traps;
+            // The trap itself completes; execution resumes after it.
+            interruptNow(Cause::TRAP, p.trap_code);
+            break;
+          case isa::SpecialOp::RFE:
+            sr_.returnFromException();
+            // Resume the saved three-address stream: offender, its
+            // successor, then the (possibly non-sequential) third.
+            stream_.clear();
+            stream_.push_back(ra_[0]);
+            stream_.push_back(ra_[1]);
+            stream_.push_back(ra_[2]);
+            refillStream();
+            break;
+          case isa::SpecialOp::MFS:
+            switch (p.sreg) {
+              case isa::SpecialReg::LO:
+                setReg(p.reg, lo_);
+                break;
+              case isa::SpecialReg::SURPRISE:
+                setReg(p.reg, sr_.pack());
+                break;
+              case isa::SpecialReg::SEG_BITS:
+                setReg(p.reg, map_.segBits());
+                break;
+              case isa::SpecialReg::SEG_PID:
+                setReg(p.reg, map_.pid());
+                break;
+              case isa::SpecialReg::RA0:
+              case isa::SpecialReg::RA1:
+              case isa::SpecialReg::RA2:
+                setReg(p.reg, ra_[static_cast<int>(p.sreg) -
+                                  static_cast<int>(isa::SpecialReg::RA0)]);
+                break;
+              case isa::SpecialReg::FAULT:
+                setReg(p.reg, fault_addr_);
+                break;
+            }
+            break;
+          case isa::SpecialOp::MTS:
+            switch (p.sreg) {
+              case isa::SpecialReg::LO:
+                lo_ = special_val;
+                break;
+              case isa::SpecialReg::SURPRISE:
+                sr_ = Surprise::unpack(special_val);
+                break;
+              case isa::SpecialReg::SEG_BITS: {
+                uint8_t nbits = static_cast<uint8_t>(
+                    special_val > 8 ? 8 : special_val);
+                uint32_t pid = nbits == 0
+                    ? 0 : (map_.pid() & ((1u << nbits) - 1));
+                map_.configure(nbits, pid);
+                break;
+              }
+              case isa::SpecialReg::SEG_PID: {
+                uint8_t nbits = map_.segBits();
+                uint32_t pid = nbits == 0
+                    ? 0 : (special_val & ((1u << nbits) - 1));
+                map_.configure(nbits, pid);
+                break;
+              }
+              case isa::SpecialReg::RA0:
+              case isa::SpecialReg::RA1:
+              case isa::SpecialReg::RA2:
+                ra_[static_cast<int>(p.sreg) -
+                    static_cast<int>(isa::SpecialReg::RA0)] = special_val;
+                break;
+              case isa::SpecialReg::FAULT:
+                fault_addr_ = special_val;
+                break;
+            }
+            break;
+          case isa::SpecialOp::HALT:
+            halted_ = true;
+            return StopReason::HALT;
+        }
+    }
+
+    return StopReason::RUNNING;
+}
+
+StopReason
+Cpu::run(uint64_t max_cycles)
+{
+    uint64_t budget = max_cycles;
+    while (budget-- > 0) {
+        StopReason reason = step();
+        if (reason != StopReason::RUNNING)
+            return reason;
+    }
+    return StopReason::CYCLE_LIMIT;
+}
+
+} // namespace mips::sim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The pipeline-semantics CPU: a cycle-level simulator of the paper's
+ * five-stage, interlock-free machine.
+ *
+ * "All instructions execute in exactly five pipe stages" and there is
+ * *no interlock hardware* (Section 4.2.1), so the simulator runs one
+ * instruction per cycle and exposes the raw pipeline semantics to
+ * software:
+ *
+ *  - **Load delay.** The register written by a load is not visible to
+ *    the immediately following instruction; that instruction reads the
+ *    *old* value (there is nothing to stall it). The reorganizer must
+ *    schedule around this or insert a no-op.
+ *  - **Delayed branches.** A taken branch executes exactly one
+ *    following instruction before control transfers; indirect jumps
+ *    execute two ("indirect jumps, which have a branch delay of two").
+ *    A taken transfer inside the shadow of another taken transfer is
+ *    architecturally undefined and stops the simulation with an error.
+ *  - **ALU bypass.** ALU results are forwarded, so an ALU result *is*
+ *    visible to the next instruction.
+ *
+ * Exceptions follow Section 3.3: instructions logically before the
+ * offender complete; the offender's writes are inhibited (including
+ * the ALU piece of a packed word whose memory piece faults); the
+ * three return addresses needed to restart an instruction stream in
+ * the shadow of an indirect jump are captured; the surprise register
+ * swaps to supervisor state; and the PC is zeroed onto the dispatch
+ * ROM. RFE resumes the saved three-address stream.
+ *
+ * The dual instruction/data memory interface is modelled by counting,
+ * each cycle, whether the data port was used; idle data cycles are the
+ * paper's *free memory cycles* (Section 3.1).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "isa/instruction.h"
+#include "sim/mapping.h"
+#include "sim/memory.h"
+#include "sim/surprise.h"
+
+namespace mips::sim {
+
+/** Why the CPU stopped (or did not). */
+enum class StopReason
+{
+    RUNNING,     ///< step() completed, more to do
+    HALT,        ///< HALT instruction retired
+    CYCLE_LIMIT, ///< run() exhausted its budget
+    SIM_ERROR,   ///< architecturally undefined behaviour detected
+};
+
+/** Execution statistics, including the free-memory-cycle accounting. */
+struct CpuStats
+{
+    uint64_t cycles = 0;          ///< == instructions issued
+    uint64_t alu_pieces = 0;
+    uint64_t loads = 0;           ///< memory-referencing loads
+    uint64_t stores = 0;
+    uint64_t long_immediates = 0;
+    uint64_t branches = 0;
+    uint64_t branches_taken = 0;
+    uint64_t jumps = 0;
+    uint64_t nops = 0;            ///< words with no pieces at all
+    uint64_t packed_words = 0;    ///< words carrying ALU + memory
+    uint64_t traps = 0;
+    uint64_t exceptions = 0;      ///< all causes, including traps
+    uint64_t free_data_cycles = 0;///< cycles with the data port idle
+
+    /** Fraction of data-memory bandwidth left unused. */
+    double
+    freeBandwidth() const
+    {
+        return cycles ? static_cast<double>(free_data_cycles) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/** The simulated processor. */
+class Cpu
+{
+  public:
+    Cpu(PhysMemory &memory, MappingUnit &mapping);
+
+    /** Reset: supervisor, unmapped, PC = `pc`, registers cleared. */
+    void reset(uint32_t pc = 0);
+
+    /** Execute one instruction (one cycle). */
+    StopReason step();
+
+    /** Run until HALT, an error, or `max_cycles` cycles. */
+    StopReason run(uint64_t max_cycles = 10'000'000);
+
+    // --- Architectural state -------------------------------------------
+
+    uint32_t reg(isa::Reg r) const { return regs_[r]; }
+    void setReg(isa::Reg r, uint32_t value);
+    uint32_t lo() const { return lo_; }
+    void setLo(uint32_t value) { lo_ = value; }
+
+    /** Address of the next instruction to execute. */
+    uint32_t pc() const { return stream_.front(); }
+    void setPc(uint32_t pc);
+
+    Surprise &surprise() { return sr_; }
+    const Surprise &surprise() const { return sr_; }
+
+    uint32_t returnAddress(int i) const { return ra_.at(i); }
+
+    /** Faulting address captured by the last page fault/address error. */
+    uint32_t faultAddress() const { return fault_addr_; }
+
+    const CpuStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CpuStats{}; }
+
+    /** Record per-PC execution counts (used by the reference-pattern
+     *  experiments); off by default. */
+    void enableProfiling(bool on) { profiling_ = on; }
+    const std::unordered_map<uint32_t, uint64_t> &
+    execCounts() const
+    {
+        return exec_counts_;
+    }
+
+    /** Description of the last SIM_ERROR. */
+    const std::string &errorMessage() const { return error_; }
+
+  private:
+    /** Translate for fetch/data; false and takes the exception on fault.
+     *  `cur` is the address of the (restartable) offending word. */
+    bool translateOrFault(uint32_t cur, uint32_t vaddr, bool is_write,
+                          bool is_fetch, uint32_t *phys);
+
+    /** Take an exception whose restart point is the *current*
+     *  (not completed) instruction at `cur`. */
+    void faultAt(uint32_t cur, Cause cause, uint16_t detail);
+
+    /** Take an exception that resumes with the not-yet-popped stream
+     *  (traps and interrupts: the offender completed / nothing ran). */
+    void interruptNow(Cause cause, uint16_t detail);
+
+    /** Shared exception entry: capture RAs and redirect to ROM. */
+    void enter(Cause cause, uint16_t detail,
+               const std::array<uint32_t, 3> &ras);
+
+    /** Keep at least three known upcoming PCs in the stream. */
+    void refillStream();
+
+    StopReason simError(std::string message);
+
+    PhysMemory &mem_;
+    MappingUnit &map_;
+
+    std::array<uint32_t, isa::kNumRegs> regs_{};
+    uint32_t lo_ = 0;
+    Surprise sr_;
+    std::array<uint32_t, 3> ra_{};
+    uint32_t fault_addr_ = 0;
+
+    /** Upcoming instruction addresses; front() is the next to run. */
+    std::deque<uint32_t> stream_;
+
+    /** Pending load write (commits after the next instruction reads). */
+    bool load_pending_ = false;
+    isa::Reg load_reg_ = 0;
+    uint32_t load_value_ = 0;
+
+    /** Taken-transfer shadow countdown for undefined-behaviour checks. */
+    int shadow_ = 0;
+
+    bool halted_ = false;
+    std::string error_;
+
+    CpuStats stats_;
+    bool profiling_ = false;
+    std::unordered_map<uint32_t, uint64_t> exec_counts_;
+};
+
+} // namespace mips::sim

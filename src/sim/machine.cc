@@ -1,0 +1,18 @@
+#include "sim/machine.h"
+
+namespace mips::sim {
+
+FunctionalRun
+runFunctional(const assembler::Program &program, uint64_t max_cycles,
+              uint32_t mem_words)
+{
+    FunctionalRun run;
+    run.memory = std::make_unique<PhysMemory>(mem_words);
+    run.memory->loadImage(program.origin, program.image);
+    run.cpu = std::make_unique<FunctionalCpu>(*run.memory);
+    run.cpu->reset(program.origin);
+    run.reason = run.cpu->run(max_cycles);
+    return run;
+}
+
+} // namespace mips::sim

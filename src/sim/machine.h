@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Convenience wrapper assembling a complete simulated system: physical
+ * memory, mapping unit, and the pipeline CPU, with program loading.
+ */
+#pragma once
+
+#include <memory>
+
+#include "asm/unit.h"
+#include "sim/cpu.h"
+#include "sim/functional.h"
+#include "sim/mapping.h"
+#include "sim/memory.h"
+
+namespace mips::sim {
+
+/** A whole machine: memory + mapping + CPU. */
+class Machine
+{
+  public:
+    explicit Machine(uint32_t mem_words = kDefaultPhysWords)
+        : memory_(mem_words), cpu_(memory_, mapping_)
+    {
+        // The off-chip mapping unit lives on the bus: supervisor
+        // stores to the MAP_* device registers program it.
+        memory_.setMapHook([this](bool install, uint32_t sva,
+                                  uint32_t frame) {
+            if (install)
+                mapping_.installPage(sva, frame);
+            else
+                mapping_.evictPage(sva);
+        });
+    }
+
+    /** Load a linked program and point the CPU at its origin. */
+    void
+    load(const assembler::Program &program)
+    {
+        memory_.loadImage(program.origin, program.image);
+        cpu_.reset(program.origin);
+    }
+
+    PhysMemory &memory() { return memory_; }
+    MappingUnit &mapping() { return mapping_; }
+    Cpu &cpu() { return cpu_; }
+
+  private:
+    PhysMemory memory_;
+    MappingUnit mapping_;
+    Cpu cpu_;
+};
+
+/**
+ * Run a linked program on the *functional* (interlocked) machine in a
+ * fresh memory; returns the executor for state inspection.
+ */
+struct FunctionalRun
+{
+    std::unique_ptr<PhysMemory> memory;
+    std::unique_ptr<FunctionalCpu> cpu;
+    StopReason reason = StopReason::RUNNING;
+};
+
+FunctionalRun runFunctional(const assembler::Program &program,
+                            uint64_t max_cycles = 10'000'000,
+                            uint32_t mem_words = kDefaultPhysWords);
+
+} // namespace mips::sim

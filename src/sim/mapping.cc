@@ -1,0 +1,114 @@
+#include "sim/mapping.h"
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace mips::sim {
+
+void
+MappingUnit::configure(uint8_t seg_bits, uint32_t pid)
+{
+    if (seg_bits > 8)
+        support::panic("MappingUnit: seg_bits %d > 8", seg_bits);
+    if (seg_bits < 32 && pid >= (1u << seg_bits) && seg_bits > 0)
+        support::panic("MappingUnit: pid %u does not fit %d bits",
+                       pid, seg_bits);
+    if (seg_bits == 0 && pid != 0)
+        support::panic("MappingUnit: pid must be 0 with seg_bits 0");
+    seg_bits_ = seg_bits;
+    pid_ = pid;
+}
+
+uint32_t
+MappingUnit::halfWindowWords() const
+{
+    // Process space is 2^(24-n) words; two equal halves.
+    return (1u << (kVirtualBits - seg_bits_)) / 2;
+}
+
+std::optional<uint32_t>
+MappingUnit::fold(uint32_t program_addr) const
+{
+    uint32_t half = halfWindowWords();
+    bool low_half = program_addr < half;
+    bool high_half = program_addr >= (0u - half); // top of 32-bit space
+    if (!low_half && !high_half)
+        return std::nullopt;
+    uint32_t window_mask = (half << 1) - 1; // 2^(24-n) - 1
+    uint32_t offset = program_addr & window_mask;
+    return (pid_ << (kVirtualBits - seg_bits_)) | offset;
+}
+
+Translation
+MappingUnit::translate(uint32_t program_addr, bool is_write)
+{
+    ++translations_;
+    Translation t;
+    t.fault_vaddr = program_addr;
+
+    auto sva = fold(program_addr);
+    if (!sva) {
+        // "Any attempt to reference a word between the two valid
+        // regions is treated as a page fault" — we distinguish it as
+        // an address error in the detail field; the OS may grow the
+        // segment or kill the process.
+        ++faults_;
+        t.cause = Cause::ADDRESS_ERROR;
+        return t;
+    }
+    t.fault_sva = *sva;
+
+    uint32_t page = *sva >> kPageBits;
+    auto it = pages_.find(page);
+    if (it == pages_.end() || !it->second.resident ||
+        (is_write && !it->second.writable)) {
+        ++faults_;
+        t.cause = Cause::PAGE_FAULT;
+        return t;
+    }
+
+    it->second.referenced = true;
+    if (is_write)
+        it->second.dirty = true;
+    t.ok = true;
+    t.phys = (it->second.frame << kPageBits) |
+             (*sva & (kPageWords - 1));
+    return t;
+}
+
+void
+MappingUnit::installPage(uint32_t sva, uint32_t phys_frame, bool resident,
+                         bool writable)
+{
+    PageEntry entry;
+    entry.frame = phys_frame;
+    entry.resident = resident;
+    entry.writable = writable;
+    pages_[sva >> kPageBits] = entry;
+}
+
+void
+MappingUnit::evictPage(uint32_t sva)
+{
+    auto it = pages_.find(sva >> kPageBits);
+    if (it != pages_.end())
+        it->second.resident = false;
+}
+
+const PageEntry *
+MappingUnit::findPage(uint32_t sva) const
+{
+    auto it = pages_.find(sva >> kPageBits);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+MappingUnit::clearUsageBits()
+{
+    for (auto &[page, entry] : pages_) {
+        entry.referenced = false;
+        entry.dirty = false;
+    }
+}
+
+} // namespace mips::sim

@@ -1,0 +1,111 @@
+#include "sim/memory.h"
+
+#include "support/logging.h"
+
+namespace mips::sim {
+
+PhysMemory::PhysMemory(uint32_t size_words) : words_(size_words, 0)
+{
+}
+
+bool
+PhysMemory::isMmio(uint32_t addr) const
+{
+    return addr >= kMmioBase && addr < kMmioBase + 16 &&
+           addr < words_.size();
+}
+
+uint32_t
+PhysMemory::read(uint32_t addr)
+{
+    if (!valid(addr))
+        support::panic("PhysMemory::read out of range: 0x%x", addr);
+    if (isMmio(addr)) {
+        switch (static_cast<MmioReg>(addr - kMmioBase)) {
+          case MmioReg::CONSOLE_STATUS:
+            return 1;
+          case MmioReg::INT_SOURCE:
+            return highestPendingDevice();
+          case MmioReg::CYCLES_LO:
+            return static_cast<uint32_t>(cycles_);
+          default:
+            return 0;
+        }
+    }
+    return words_[addr];
+}
+
+void
+PhysMemory::write(uint32_t addr, uint32_t value)
+{
+    if (!valid(addr))
+        support::panic("PhysMemory::write out of range: 0x%x", addr);
+    if (isMmio(addr)) {
+        switch (static_cast<MmioReg>(addr - kMmioBase)) {
+          case MmioReg::CONSOLE_OUT:
+            console_.push_back(static_cast<char>(value & 0xff));
+            break;
+          case MmioReg::INT_ACK:
+            if (value < 32)
+                pending_devices_ &= ~(1u << value);
+            break;
+          case MmioReg::MAP_SVA:
+            map_sva_ = value;
+            break;
+          case MmioReg::MAP_INSTALL:
+            if (map_hook_)
+                map_hook_(true, map_sva_, value);
+            break;
+          case MmioReg::MAP_EVICT:
+            if (map_hook_)
+                map_hook_(false, map_sva_, value);
+            break;
+          default:
+            break;
+        }
+        return;
+    }
+    words_[addr] = value;
+}
+
+uint32_t
+PhysMemory::peek(uint32_t addr) const
+{
+    if (!valid(addr))
+        support::panic("PhysMemory::peek out of range: 0x%x", addr);
+    return words_[addr];
+}
+
+void
+PhysMemory::poke(uint32_t addr, uint32_t value)
+{
+    if (!valid(addr))
+        support::panic("PhysMemory::poke out of range: 0x%x", addr);
+    words_[addr] = value;
+}
+
+void
+PhysMemory::loadImage(uint32_t base, const std::vector<uint32_t> &image)
+{
+    for (size_t i = 0; i < image.size(); ++i)
+        poke(base + static_cast<uint32_t>(i), image[i]);
+}
+
+void
+PhysMemory::raiseDevice(uint32_t device_id)
+{
+    if (device_id == 0 || device_id >= 32)
+        support::panic("raiseDevice: bad device id %u", device_id);
+    pending_devices_ |= 1u << device_id;
+}
+
+uint32_t
+PhysMemory::highestPendingDevice() const
+{
+    for (uint32_t id = 1; id < 32; ++id)
+        if (pending_devices_ & (1u << id))
+            return id;
+    return 0;
+}
+
+} // namespace mips::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Physical word-addressed memory with memory-mapped devices.
+ *
+ * The memory is an array of 32-bit words (there is deliberately no
+ * byte access path — Section 4.1 of the paper). A small MMIO window at
+ * the top of the physical space hosts the console and the external
+ * interrupt-prioritization logic the paper's global interrupt handler
+ * queries ("the global interrupt handler queries any external
+ * prioritization logic to determine which device was requesting
+ * service").
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mips::sim {
+
+/** Default physical memory size in words (4 MB). */
+constexpr uint32_t kDefaultPhysWords = 1u << 20;
+
+/** First word of the MMIO window (within the default size). */
+constexpr uint32_t kMmioBase = 0x000ff000;
+
+/** MMIO registers (word offsets from kMmioBase). */
+enum class MmioReg : uint32_t
+{
+    CONSOLE_OUT = 0,   ///< write: emit low byte to the console
+    CONSOLE_STATUS = 1,///< read: 1 (always ready)
+    INT_SOURCE = 2,    ///< read: id of highest-priority pending device
+    INT_ACK = 3,       ///< write: acknowledge (clear) device id
+    CYCLES_LO = 4,     ///< read: low word of the cycle counter
+    MAP_SVA = 5,       ///< write: latch system virtual address
+    MAP_INSTALL = 6,   ///< write frame number: install page for MAP_SVA
+    MAP_EVICT = 7,     ///< write anything: evict the MAP_SVA page
+};
+
+/**
+ * Physical memory plus devices. Word granularity only.
+ */
+class PhysMemory
+{
+  public:
+    explicit PhysMemory(uint32_t size_words = kDefaultPhysWords);
+
+    /** Number of addressable words. */
+    uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+
+    /** True if `addr` is a valid physical word address. */
+    bool valid(uint32_t addr) const { return addr < words_.size(); }
+
+    /** True if `addr` falls in the MMIO window. */
+    bool isMmio(uint32_t addr) const;
+
+    /** Read a word; MMIO reads consult the devices. */
+    uint32_t read(uint32_t addr);
+
+    /** Write a word; MMIO writes drive the devices. */
+    void write(uint32_t addr, uint32_t value);
+
+    /** Raw (device-free) access for loaders and tests. */
+    uint32_t peek(uint32_t addr) const;
+    void poke(uint32_t addr, uint32_t value);
+
+    /** Copy a program image into memory at `base`. */
+    void loadImage(uint32_t base, const std::vector<uint32_t> &image);
+
+    // --- Devices -------------------------------------------------------
+
+    /** Everything written to CONSOLE_OUT so far. */
+    const std::string &consoleOutput() const { return console_; }
+
+    /** Assert a device interrupt request (device ids 1..31). */
+    void raiseDevice(uint32_t device_id);
+
+    /** True if any device request is pending (drives the single
+     *  interrupt line onto the chip). */
+    bool interruptPending() const { return pending_devices_ != 0; }
+
+    /** Highest-priority (lowest id) pending device, 0 if none. */
+    uint32_t highestPendingDevice() const;
+
+    /** Cycle-counter value surfaced through CYCLES_LO (set by the CPU). */
+    void setCycleCounter(uint64_t cycles) { cycles_ = cycles; }
+
+    /**
+     * Hook for the MAP_* registers: the exterior mapping unit sits on
+     * the bus ("an off-chip page map", Section 3.1), so the OS
+     * programs it through stores. Machine wires this to MappingUnit.
+     * Called as hook(install_or_evict, sva, frame).
+     */
+    void
+    setMapHook(std::function<void(bool, uint32_t, uint32_t)> hook)
+    {
+        map_hook_ = std::move(hook);
+    }
+
+  private:
+    std::vector<uint32_t> words_;
+    std::string console_;
+    uint32_t pending_devices_ = 0; ///< bitmask of requesting devices
+    uint64_t cycles_ = 0;
+    uint32_t map_sva_ = 0;
+    std::function<void(bool, uint32_t, uint32_t)> map_hook_;
+};
+
+} // namespace mips::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bit-manipulation helpers for instruction encoding and the simulator.
+ *
+ * All helpers operate on explicit bit positions; `first` is the most
+ * significant bit of the field and `last` the least significant, matching
+ * the usual hardware-manual convention (e.g. bits(word, 31, 28) is the
+ * top nibble).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "support/logging.h"
+
+namespace mips::support {
+
+/** Mask with the low `nbits` bits set. */
+constexpr uint64_t
+mask(int nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [first:last] (inclusive, first >= last). */
+constexpr uint64_t
+bits(uint64_t val, int first, int last)
+{
+    return (val >> last) & mask(first - last + 1);
+}
+
+/** Return `val` with bits [first:last] replaced by `field`. */
+constexpr uint64_t
+insertBits(uint64_t val, int first, int last, uint64_t field)
+{
+    uint64_t m = mask(first - last + 1) << last;
+    return (val & ~m) | ((field << last) & m);
+}
+
+/** Sign-extend the low `nbits` bits of `val` to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, int nbits)
+{
+    uint64_t m = 1ULL << (nbits - 1);
+    uint64_t v = val & mask(nbits);
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+/** True if `val` fits in `nbits` as an unsigned field. */
+constexpr bool
+fitsUnsigned(uint64_t val, int nbits)
+{
+    return val <= mask(nbits);
+}
+
+/** True if `val` fits in `nbits` as a signed (two's complement) field. */
+constexpr bool
+fitsSigned(int64_t val, int nbits)
+{
+    int64_t lo = -(1LL << (nbits - 1));
+    int64_t hi = (1LL << (nbits - 1)) - 1;
+    return val >= lo && val <= hi;
+}
+
+/** 32-bit two's-complement addition with signed-overflow detection. */
+inline uint32_t
+addOverflow(uint32_t a, uint32_t b, bool *overflow)
+{
+    uint32_t sum = a + b;
+    // Signed overflow: operands agree in sign, result differs.
+    *overflow = (~(a ^ b) & (a ^ sum)) >> 31;
+    return sum;
+}
+
+/** 32-bit two's-complement subtraction with signed-overflow detection. */
+inline uint32_t
+subOverflow(uint32_t a, uint32_t b, bool *overflow)
+{
+    uint32_t diff = a - b;
+    *overflow = ((a ^ b) & (a ^ diff)) >> 31;
+    return diff;
+}
+
+} // namespace mips::support

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A minimal expected-style result type for recoverable errors.
+ *
+ * Used by the assembler, the Pascal-like compiler front end, and other
+ * components that must report malformed *input* without terminating the
+ * process. Internal invariant violations still use panic().
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/logging.h"
+
+namespace mips::support {
+
+/** A recoverable error: message plus optional source position. */
+struct Error
+{
+    std::string message;
+    /** 1-based line in the offending source, or 0 if not applicable. */
+    int line = 0;
+    /** 1-based column in the offending source, or 0 if not applicable. */
+    int column = 0;
+
+    /** Render "line:col: message" (or just the message). */
+    std::string
+    str() const
+    {
+        if (line == 0)
+            return message;
+        if (column == 0)
+            return strprintf("%d: %s", line, message.c_str());
+        return strprintf("%d:%d: %s", line, column, message.c_str());
+    }
+};
+
+/**
+ * Result<T>: either a value or an Error.
+ *
+ * Deliberately tiny: value(), error(), ok(), and a panicking unwrap for
+ * tests and examples where failure indicates a bug.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : data_(std::move(value)) {}
+    Result(Error error) : data_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(data_); }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Result::value() on error: %s", error().str().c_str());
+        return std::get<T>(data_);
+    }
+
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Result::value() on error: %s", error().str().c_str());
+        return std::get<T>(data_);
+    }
+
+    /** Move the value out (Result must hold a value). */
+    T
+    take()
+    {
+        if (!ok())
+            panic("Result::take() on error: %s", error().str().c_str());
+        return std::move(std::get<T>(data_));
+    }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Result::error() on value");
+        return std::get<Error>(data_);
+    }
+
+  private:
+    std::variant<T, Error> data_;
+};
+
+/** Convenience maker for error results. */
+inline Error
+makeError(std::string message, int line = 0, int column = 0)
+{
+    return Error{std::move(message), line, column};
+}
+
+} // namespace mips::support

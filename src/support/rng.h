@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * A fixed-seed xorshift64* generator keeps every experiment reproducible
+ * bit-for-bit across runs and platforms; std::mt19937 would also work but
+ * this is smaller and its output is pinned by our own tests.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mips::support {
+
+/** xorshift64* PRNG; deterministic and platform independent. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace mips::support

@@ -1,0 +1,41 @@
+#include "support/stats.h"
+
+#include "support/logging.h"
+
+namespace mips::support {
+
+BucketDist::BucketDist(std::vector<std::string> bucket_names)
+    : names_(std::move(bucket_names))
+{
+    for (const std::string &n : names_)
+        counts_[n] = 0;
+}
+
+void
+BucketDist::add(const std::string &name, uint64_t weight)
+{
+    auto it = counts_.find(name);
+    if (it == counts_.end())
+        panic("BucketDist: unknown bucket '%s'", name.c_str());
+    it->second += weight;
+    total_ += weight;
+}
+
+uint64_t
+BucketDist::count(const std::string &name) const
+{
+    auto it = counts_.find(name);
+    if (it == counts_.end())
+        panic("BucketDist: unknown bucket '%s'", name.c_str());
+    return it->second;
+}
+
+double
+BucketDist::fraction(const std::string &name) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(name)) / static_cast<double>(total_);
+}
+
+} // namespace mips::support

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Counter and distribution helpers used by the analyzers and simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mips::support {
+
+/**
+ * A distribution over named buckets, in insertion order.
+ *
+ * Used for the paper's categorical tables (constant magnitudes,
+ * reference-size classes, boolean-expression shapes, ...).
+ */
+class BucketDist
+{
+  public:
+    /** Declare the buckets up front so fractions cover empty ones too. */
+    explicit BucketDist(std::vector<std::string> bucket_names);
+
+    /** Add `weight` to bucket `name` (which must have been declared). */
+    void add(const std::string &name, uint64_t weight = 1);
+
+    /** Total weight across all buckets. */
+    uint64_t total() const { return total_; }
+
+    /** Raw count for a bucket. */
+    uint64_t count(const std::string &name) const;
+
+    /** Fraction of the total in a bucket (0 when total is 0). */
+    double fraction(const std::string &name) const;
+
+    /** Bucket names in declaration order. */
+    const std::vector<std::string> &names() const { return names_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::map<std::string, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/** Running mean over added samples. */
+class Mean
+{
+  public:
+    void
+    add(double sample, double weight = 1.0)
+    {
+        sum_ += sample * weight;
+        weight_ += weight;
+    }
+
+    double value() const { return weight_ > 0 ? sum_ / weight_ : 0.0; }
+    double weight() const { return weight_; }
+
+  private:
+    double sum_ = 0.0;
+    double weight_ = 0.0;
+};
+
+} // namespace mips::support

@@ -1,0 +1,96 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace mips::support {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{false, std::move(row)});
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::pct(double fraction, int decimals)
+{
+    return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+std::string
+TextTable::num(double value, int decimals)
+{
+    return strprintf("%.*f", decimals, value);
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths across header and all rows.
+    size_t ncols = header_.size();
+    for (const Row &r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto account = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const Row &r : rows_)
+        if (!r.separator)
+            account(r.cells);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    if (total >= 2)
+        total -= 2;
+
+    auto renderCells = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            line += cell;
+            if (i + 1 < ncols)
+                line += std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        // Strip trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty()) {
+        out += title_ + "\n";
+        out += std::string(std::max(title_.size(), total), '=') + "\n";
+    }
+    if (!header_.empty()) {
+        out += renderCells(header_);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const Row &r : rows_) {
+        if (r.separator)
+            out += std::string(total, '-') + "\n";
+        else
+            out += renderCells(r.cells);
+    }
+    return out;
+}
+
+} // namespace mips::support

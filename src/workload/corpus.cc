@@ -1,0 +1,492 @@
+#include "workload/corpus.h"
+
+namespace mips::workload {
+
+namespace {
+
+// ------------------------------------------------------------ Corpus
+
+/** Lexical scanner over synthesized source text (compiler-flavoured,
+ *  heavy character handling over a packed buffer). */
+const char *const kTokenizer = R"(
+program tokenizer;
+const srclen = 96;
+var src: array [0..95] of char;
+    i, n, idents, numbers, spaces, others: integer;
+    c: char;
+    inident, innum: boolean;
+function isletter(ch: char): boolean;
+begin
+  isletter := (ch >= 'a') and (ch <= 'z');
+end;
+function isdigit(ch: char): boolean;
+begin
+  isdigit := (ch >= '0') and (ch <= '9');
+end;
+begin
+  { synthesize a source-like text: words, numbers, punctuation }
+  for i := 0 to srclen - 1 do begin
+    n := i mod 8;
+    if n < 4 then src[i] := chr(ord('a') + (i mod 26))
+    else if n < 6 then src[i] := chr(ord('0') + (i mod 10))
+    else if n = 6 then src[i] := ' '
+    else src[i] := ';';
+  end;
+  idents := 0; numbers := 0; spaces := 0; others := 0;
+  inident := false; innum := false;
+  for i := 0 to srclen - 1 do begin
+    c := src[i];
+    if isletter(c) then begin
+      if not inident then idents := idents + 1;
+      inident := true;
+    end else if isdigit(c) then begin
+      if (not innum) and (not inident) then numbers := numbers + 1;
+      innum := true;
+    end else begin
+      inident := false; innum := false;
+      if c = ' ' then spaces := spaces + 1
+      else others := others + 1;
+    end;
+  end;
+  writeint(idents); writechar(' ');
+  writeint(numbers); writechar(' ');
+  writeint(spaces); writechar(' ');
+  writeint(others);
+end.
+)";
+
+/** Open-addressed symbol table (compiler-flavoured). */
+const char *const kSymtab = R"(
+program symtab;
+const nslots = 32; names = 48;
+var table: array [0..31] of integer;
+    probes, stored, found, i, k: integer;
+function hash(key: integer): integer;
+begin
+  hash := (key * 7 + 3) mod nslots;
+end;
+procedure insert(key: integer);
+var slot: integer; done: boolean;
+begin
+  slot := hash(key);
+  done := false;
+  while not done do begin
+    probes := probes + 1;
+    if table[slot] = 0 then begin
+      table[slot] := key; stored := stored + 1; done := true;
+    end else if table[slot] = key then begin
+      found := found + 1; done := true;
+    end else begin
+      slot := slot + 1;
+      if slot >= nslots then slot := 0;
+    end;
+  end;
+end;
+begin
+  for i := 0 to nslots - 1 do table[i] := 0;
+  probes := 0; stored := 0; found := 0;
+  for i := 1 to names do insert((i * 13) mod 29 + 1);
+  writeint(stored); writechar(' '); writeint(found);
+end.
+)";
+
+/** Word counting and case conversion over character lines. */
+const char *const kTextFormat = R"(
+program textformat;
+const len = 80;
+var line: array [0..79] of char;
+    outbuf: packed array [0..79] of char;
+    i, j, words: integer;
+    c: char;
+begin
+  for i := 0 to len - 1 do begin
+    if (i mod 5) = 4 then line[i] := ' '
+    else line[i] := chr(ord('a') + (i mod 7));
+  end;
+  words := 0; j := 0;
+  for i := 0 to len - 1 do begin
+    c := line[i];
+    if c = ' ' then words := words + 1
+    else c := chr(ord(c) - 32);
+    outbuf[j] := c;
+    j := j + 1;
+  end;
+  writeint(words); writechar(outbuf[0]); writechar(outbuf[1]);
+end.
+)";
+
+/** Token-stream expression evaluator (interpreter-flavoured). */
+const char *const kCalculator = R"(
+program calculator;
+const ntoks = 24;
+var vals: array [0..23] of integer;
+    ops: array [0..23] of char;
+    acc, i: integer;
+    c: char;
+begin
+  for i := 0 to ntoks - 1 do begin
+    vals[i] := (i * 3) mod 7 + 1;
+    if (i mod 3) = 0 then ops[i] := '+'
+    else if (i mod 3) = 1 then ops[i] := '-'
+    else ops[i] := '*';
+  end;
+  acc := 0;
+  for i := 0 to ntoks - 1 do begin
+    c := ops[i];
+    if c = '+' then acc := acc + vals[i]
+    else if c = '-' then acc := acc - vals[i]
+    else acc := acc + vals[i] * 2;
+  end;
+  writeint(acc);
+end.
+)";
+
+/** Netlist statistics (VLSI-design-aid-flavoured). */
+const char *const kGateCount = R"(
+program gatecount;
+const ngates = 60;
+var kind: array [0..59] of integer;
+    fanin: array [0..59] of integer;
+    ands, ors, nots, maxfan, total, i: integer;
+begin
+  for i := 0 to ngates - 1 do begin
+    kind[i] := i mod 3;
+    fanin[i] := (i * 5) mod 4 + 1;
+  end;
+  ands := 0; ors := 0; nots := 0; maxfan := 0; total := 0;
+  for i := 0 to ngates - 1 do begin
+    if kind[i] = 0 then ands := ands + 1
+    else if kind[i] = 1 then ors := ors + 1
+    else nots := nots + 1;
+    total := total + fanin[i];
+    if fanin[i] > maxfan then maxfan := fanin[i];
+  end;
+  writeint(ands); writechar(' '); writeint(ors); writechar(' ');
+  writeint(nots); writechar(' '); writeint(maxfan); writechar(' ');
+  writeint(total);
+end.
+)";
+
+/** Grid wave-propagation router (VLSI-design-aid-flavoured). */
+const char *const kRouter = R"(
+program router;
+const w = 12; cells = 144;
+var grid: array [0..143] of integer;
+    i, v: integer;
+    changed: boolean;
+begin
+  for i := 0 to cells - 1 do grid[i] := 0;
+  for i := 2 to 9 do grid[5 * w + i] := -1;
+  grid[0] := 1;
+  changed := true;
+  while changed do begin
+    changed := false;
+    for i := 0 to cells - 1 do begin
+      v := grid[i];
+      if v > 0 then begin
+        if (i mod w) > 0 then
+          if grid[i - 1] = 0 then begin
+            grid[i - 1] := v + 1; changed := true;
+          end;
+        if (i mod w) < w - 1 then
+          if grid[i + 1] = 0 then begin
+            grid[i + 1] := v + 1; changed := true;
+          end;
+        if i >= w then
+          if grid[i - w] = 0 then begin
+            grid[i - w] := v + 1; changed := true;
+          end;
+        if i < cells - w then
+          if grid[i + w] = 0 then begin
+            grid[i + w] := v + 1; changed := true;
+          end;
+      end;
+    end;
+  end;
+  writeint(grid[cells - 1]);
+end.
+)";
+
+/** Keyed insertion sort carrying a character payload. */
+const char *const kSorter = R"(
+program sorter;
+const n = 40;
+var a: array [0..39] of integer;
+    key: packed array [0..39] of char;
+    i, j, t: integer;
+    c: char;
+begin
+  for i := 0 to n - 1 do begin
+    a[i] := (i * 37) mod 41;
+    key[i] := chr(ord('a') + (a[i] mod 26));
+  end;
+  for i := 1 to n - 1 do begin
+    t := a[i]; c := key[i]; j := i - 1;
+    while (j >= 0) and (a[j] > t) do begin
+      a[j + 1] := a[j];
+      key[j + 1] := key[j];
+      j := j - 1;
+    end;
+    a[j + 1] := t;
+    key[j + 1] := c;
+  end;
+  writeint(a[0]); writechar(key[0]);
+  writeint(a[39]); writechar(key[39]);
+end.
+)";
+
+/** Fletcher-style checksum over a packed character buffer. */
+const char *const kChecksum = R"(
+program checksum;
+const len = 64;
+var buf: packed array [0..63] of char;
+    i, s1, s2: integer;
+begin
+  for i := 0 to len - 1 do
+    buf[i] := chr(32 + ((i * 11) mod 90));
+  s1 := 0; s2 := 0;
+  for i := 0 to len - 1 do begin
+    s1 := (s1 + ord(buf[i])) mod 255;
+    s2 := (s2 + s1) mod 255;
+  end;
+  writeint(s1); writechar(':'); writeint(s2);
+end.
+)";
+
+// ---------------------------------------------------- Table 11 programs
+
+const char *const kFibonacci = R"(
+program fibonacci;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2);
+end;
+begin
+  writeint(fib(16));
+end.
+)";
+
+/**
+ * Baskett's Puzzle, scaled to a 6x6 board: one horizontal bar, one
+ * vertical bar, four 2x2 squares, and twelve unit pieces tile the 36
+ * cells exactly. The recursive trial/fit/place/remove structure and
+ * the placement counter follow the original benchmark.
+ */
+const char *const kPuzzle0 = R"(
+program puzzle0;
+const w = 6; size = 36; nclasses = 4;
+var board: array [0..35] of integer;
+    shapes: array [0..15] of integer;
+    sizes: array [0..3] of integer;
+    counts: array [0..3] of integer;
+    kount, placed: integer;
+    solved: boolean;
+function fit(pc, where: integer): boolean;
+var k, off: integer; good: boolean;
+begin
+  good := true;
+  if (pc = 0) and ((where mod w) > w - 4) then good := false;
+  if (pc = 1) and (where >= w * 3) then good := false;
+  if (pc = 2) and (((where mod w) > w - 2) or (where >= size - w))
+    then good := false;
+  k := 0;
+  while (k < sizes[pc]) and good do begin
+    off := where + shapes[pc * 4 + k];
+    if off >= size then good := false
+    else if board[off] <> 0 then good := false;
+    k := k + 1;
+  end;
+  fit := good;
+end;
+procedure place(pc, where: integer);
+var k: integer;
+begin
+  for k := 0 to sizes[pc] - 1 do
+    board[where + shapes[pc * 4 + k]] := 1;
+  counts[pc] := counts[pc] - 1;
+  placed := placed + sizes[pc];
+end;
+procedure remove(pc, where: integer);
+var k: integer;
+begin
+  for k := 0 to sizes[pc] - 1 do
+    board[where + shapes[pc * 4 + k]] := 0;
+  counts[pc] := counts[pc] + 1;
+  placed := placed - sizes[pc];
+end;
+function trial(where: integer): boolean;
+var pc, next: integer; ok: boolean;
+begin
+  kount := kount + 1;
+  if placed = size then trial := true
+  else begin
+    next := where;
+    while board[next] <> 0 do next := next + 1;
+    ok := false;
+    pc := 0;
+    while (pc < nclasses) and (not ok) do begin
+      if counts[pc] > 0 then
+        if fit(pc, next) then begin
+          place(pc, next);
+          ok := trial(next + 1);
+          if not ok then remove(pc, next);
+        end;
+      pc := pc + 1;
+    end;
+    trial := ok;
+  end;
+end;
+begin
+  for kount := 0 to size - 1 do board[kount] := 0;
+  shapes[0] := 0; shapes[1] := 1; shapes[2] := 2; shapes[3] := 3;
+  shapes[4] := 0; shapes[5] := w; shapes[6] := w * 2;
+  shapes[7] := w * 3;
+  shapes[8] := 0; shapes[9] := 1; shapes[10] := w;
+  shapes[11] := w + 1;
+  shapes[12] := 0; shapes[13] := 0; shapes[14] := 0; shapes[15] := 0;
+  sizes[0] := 4; sizes[1] := 4; sizes[2] := 4; sizes[3] := 1;
+  counts[0] := 1; counts[1] := 1; counts[2] := 4; counts[3] := 12;
+  kount := 0; placed := 0;
+  solved := trial(0);
+  if solved then writechar('Y') else writechar('N');
+  writeint(kount);
+end.
+)";
+
+/**
+ * The same puzzle in the "pointer" style of the paper's Puzzle 1:
+ * shape offsets and the board scan walk explicit cursors instead of
+ * recomputed subscripts.
+ */
+const char *const kPuzzle1 = R"(
+program puzzle1;
+const w = 6; size = 36; nclasses = 4;
+var board: array [0..35] of integer;
+    shapes: array [0..15] of integer;
+    sizes: array [0..3] of integer;
+    counts: array [0..3] of integer;
+    kount, placed: integer;
+    solved: boolean;
+function fit(pc, where: integer): boolean;
+var p, limit, off: integer; good: boolean;
+begin
+  good := true;
+  if (pc = 0) and ((where mod w) > w - 4) then good := false;
+  if (pc = 1) and (where >= w * 3) then good := false;
+  if (pc = 2) and (((where mod w) > w - 2) or (where >= size - w))
+    then good := false;
+  p := pc * 4;
+  limit := p + sizes[pc];
+  while (p < limit) and good do begin
+    off := where + shapes[p];
+    if off >= size then good := false
+    else if board[off] <> 0 then good := false;
+    p := p + 1;
+  end;
+  fit := good;
+end;
+procedure place(pc, where: integer);
+var p, limit: integer;
+begin
+  p := pc * 4;
+  limit := p + sizes[pc];
+  while p < limit do begin
+    board[where + shapes[p]] := 1;
+    p := p + 1;
+  end;
+  counts[pc] := counts[pc] - 1;
+  placed := placed + sizes[pc];
+end;
+procedure remove(pc, where: integer);
+var p, limit: integer;
+begin
+  p := pc * 4;
+  limit := p + sizes[pc];
+  while p < limit do begin
+    board[where + shapes[p]] := 0;
+    p := p + 1;
+  end;
+  counts[pc] := counts[pc] + 1;
+  placed := placed - sizes[pc];
+end;
+function trial(where: integer): boolean;
+var pc, next: integer; ok: boolean;
+begin
+  kount := kount + 1;
+  if placed = size then trial := true
+  else begin
+    next := where;
+    while board[next] <> 0 do next := next + 1;
+    ok := false;
+    pc := 0;
+    while (pc < nclasses) and (not ok) do begin
+      if counts[pc] > 0 then
+        if fit(pc, next) then begin
+          place(pc, next);
+          ok := trial(next + 1);
+          if not ok then remove(pc, next);
+        end;
+      pc := pc + 1;
+    end;
+    trial := ok;
+  end;
+end;
+begin
+  for kount := 0 to size - 1 do board[kount] := 0;
+  shapes[0] := 0; shapes[1] := 1; shapes[2] := 2; shapes[3] := 3;
+  shapes[4] := 0; shapes[5] := w; shapes[6] := w * 2;
+  shapes[7] := w * 3;
+  shapes[8] := 0; shapes[9] := 1; shapes[10] := w;
+  shapes[11] := w + 1;
+  shapes[12] := 0; shapes[13] := 0; shapes[14] := 0; shapes[15] := 0;
+  sizes[0] := 4; sizes[1] := 4; sizes[2] := 4; sizes[3] := 1;
+  counts[0] := 1; counts[1] := 1; counts[2] := 4; counts[3] := 12;
+  kount := 0; placed := 0;
+  solved := trial(0);
+  if solved then writechar('Y') else writechar('N');
+  writeint(kount);
+end.
+)";
+
+} // namespace
+
+const std::vector<CorpusProgram> &
+corpus()
+{
+    static const std::vector<CorpusProgram> programs = {
+        {"tokenizer", kTokenizer, ""},
+        {"symtab", kSymtab, "29 19"},
+        {"textformat", kTextFormat, "16AB"},
+        {"calculator", kCalculator, ""},
+        {"gatecount", kGateCount, "20 20 20 4 150"},
+        {"router", kRouter, ""},
+        {"sorter", kSorter, "0a40o"},
+        {"checksum", kChecksum, ""},
+    };
+    return programs;
+}
+
+const CorpusProgram &
+fibonacciProgram()
+{
+    static const CorpusProgram program = {"fibonacci", kFibonacci,
+                                          "987"};
+    return program;
+}
+
+const CorpusProgram &
+puzzle0Program()
+{
+    static const CorpusProgram program = {"puzzle0", kPuzzle0, ""};
+    return program;
+}
+
+const CorpusProgram &
+puzzle1Program()
+{
+    static const CorpusProgram program = {"puzzle1", kPuzzle1, ""};
+    return program;
+}
+
+} // namespace mips::workload

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The embedded program corpus.
+ *
+ * The paper's measurements come from "a collection of Pascal programs
+ * including compilers, optimizers, and VLSI design aid software; the
+ * programs are reasonably involved with text handling, and little or
+ * no compute intensive (e.g., floating point) tasks are included".
+ * That exact corpus is lost to history; this module carries a set of
+ * programs with the same character — lexing, symbol tables, text
+ * formatting, expression evaluation, netlist processing, grid routing,
+ * sorting, checksumming — written in the Pascal-like source language.
+ *
+ * Each program is deterministic and prints a short result so that the
+ * test suite can verify end-to-end correctness on both machines and
+ * under both data layouts.
+ *
+ * The Table 11 benchmark programs (recursive Fibonacci and the two
+ * Puzzle variants — Baskett's informal compute-bound benchmark in a
+ * subscripted and a cursor/pointer-styled form, scaled to an 8x8
+ * board so simulation stays fast) are exposed separately.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mips::workload {
+
+/** One corpus program. */
+struct CorpusProgram
+{
+    const char *name;
+    const char *source;
+    /** Expected console output (empty when not checked). */
+    const char *expected_output;
+};
+
+/** The analysis corpus (Tables 1, 3, 4, 7, 8). */
+const std::vector<CorpusProgram> &corpus();
+
+/** Recursive Fibonacci (Table 11). */
+const CorpusProgram &fibonacciProgram();
+
+/** Puzzle, subscripted variant (Table 11's "Puzzle 0"). */
+const CorpusProgram &puzzle0Program();
+
+/** Puzzle, cursor/pointer-styled variant (Table 11's "Puzzle 1"). */
+const CorpusProgram &puzzle1Program();
+
+} // namespace mips::workload

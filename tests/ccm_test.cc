@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Condition-code baseline tests: expression trees, the four code
+ * generators (checked for correctness against eval() over every leaf
+ * assignment), the paper's Figure 1-3 instruction counts, Table 5
+ * per-operator counts, Table 6 cost ordering, and the taxonomy.
+ */
+#include <gtest/gtest.h>
+
+#include "ccm/boolexpr.h"
+#include "ccm/codegen.h"
+#include "ccm/cost.h"
+#include "ccm/taxonomy.h"
+
+namespace mips::ccm {
+namespace {
+
+TEST(BoolExprTest, CountsAndEval)
+{
+    BoolExprPtr e = paperExample();
+    EXPECT_EQ(e->operatorCount(), 1);
+    EXPECT_EQ(e->leafCount(), 2);
+
+    std::map<std::string, int32_t> env{
+        {"Rec", 4}, {"Key", 4}, {"I", 12}};
+    EXPECT_TRUE(e->eval(env));
+    env["Rec"] = 5;
+    EXPECT_FALSE(e->eval(env));
+    env["I"] = 13;
+    EXPECT_TRUE(e->eval(env));
+}
+
+TEST(BoolExprTest, OrChainShape)
+{
+    BoolExprPtr e = orChain(3);
+    EXPECT_EQ(e->operatorCount(), 3);
+    EXPECT_EQ(e->leafCount(), 4);
+}
+
+TEST(BoolExprTest, NotAndClone)
+{
+    BoolExprPtr e = makeNot(makeAnd(
+        makeLeafConst("a", isa::Cond::GT, 0),
+        makeLeafConst("b", isa::Cond::LT, 0)));
+    EXPECT_EQ(e->operatorCount(), 2);
+    BoolExprPtr c = clone(*e);
+    std::map<std::string, int32_t> env{{"a", 1}, {"b", -1}};
+    EXPECT_EQ(e->eval(env), c->eval(env));
+    EXPECT_FALSE(e->eval(env));
+}
+
+TEST(BoolExprTest, ToString)
+{
+    EXPECT_EQ(exprToString(*paperExample()),
+              "(Rec eq Key) OR (I eq 13)");
+}
+
+// --------------------------------------------------- Generator checks
+
+constexpr Style kAllStyles[] = {
+    Style::SET_CONDITIONALLY,
+    Style::CC_COND_SET,
+    Style::CC_BRANCH_FULL,
+    Style::CC_BRANCH_EARLY_OUT,
+};
+
+/** expectedDynamicCounts panics internally if any generated program
+ *  disagrees with eval() on any leaf assignment, so running it doubles
+ *  as an exhaustive correctness check. */
+TEST(CcCodegen, AllStylesCorrectOnCanonicalExpressions)
+{
+    std::vector<BoolExprPtr> exprs;
+    exprs.push_back(paperExample());
+    exprs.push_back(orChain(0));
+    exprs.push_back(orChain(2));
+    exprs.push_back(makeAnd(makeLeafConst("x", isa::Cond::GE, 3),
+                            makeLeafConst("y", isa::Cond::NE, 0)));
+    exprs.push_back(makeNot(makeOr(
+        makeLeafConst("p", isa::Cond::LT, 10),
+        makeAnd(makeLeafConst("q", isa::Cond::EQ, 1),
+                makeLeafConst("r", isa::Cond::GT, -1)))));
+
+    for (const BoolExprPtr &e : exprs) {
+        for (Style style : kAllStyles) {
+            for (Context ctx : {Context::STORE, Context::JUMP}) {
+                CcProgram prog = generate(*e, style, ctx);
+                ClassCounts counts = expectedDynamicCounts(prog, *e);
+                EXPECT_GT(counts.total(), 0.0)
+                    << styleName(style) << "\n" << prog.listing();
+            }
+        }
+    }
+}
+
+TEST(CcCodegen, Figure1FullEvaluationShape)
+{
+    // Figure 1 left: 8 static instructions, 2 branches, average of 7
+    // executed (each taken branch skips one instruction half the time).
+    BoolExprPtr e = paperExample();
+    CcProgram prog = generate(*e, Style::CC_BRANCH_FULL,
+                              Context::STORE);
+    EXPECT_EQ(prog.staticCount(), 8) << prog.listing();
+    EXPECT_EQ(prog.staticCount(CcClass::BRANCH), 2);
+    ClassCounts dyn = expectedDynamicCounts(prog, *e);
+    EXPECT_NEAR(dyn.total(), 7.0, 1e-9);
+    EXPECT_NEAR(dyn.branch, 2.0, 1e-9); // both branches always execute
+}
+
+TEST(CcCodegen, Figure1EarlyOutShape)
+{
+    // Figure 1 right: 6 static instructions, 2 branches, one branch
+    // executed on average... our rendition adds the final store, so we
+    // check the paper's invariants relative to full evaluation.
+    BoolExprPtr e = paperExample();
+    CcProgram early = generate(*e, Style::CC_BRANCH_EARLY_OUT,
+                               Context::STORE);
+    CcProgram full = generate(*e, Style::CC_BRANCH_FULL,
+                              Context::STORE);
+    EXPECT_LT(early.staticCount(), full.staticCount())
+        << early.listing();
+    ClassCounts dyn_early = expectedDynamicCounts(early, *e);
+    ClassCounts dyn_full = expectedDynamicCounts(full, *e);
+    EXPECT_LT(dyn_early.total(), dyn_full.total());
+    // Early-out executes fewer compares when the first leaf decides.
+    EXPECT_LT(dyn_early.compare, 2.0);
+}
+
+TEST(CcCodegen, Figure2CondSetShape)
+{
+    // Figure 2: cmp, seq, cmp, seq, or (+ the store) — no branches.
+    BoolExprPtr e = paperExample();
+    CcProgram prog = generate(*e, Style::CC_COND_SET, Context::STORE);
+    EXPECT_EQ(prog.staticCount(CcClass::BRANCH), 0) << prog.listing();
+    EXPECT_EQ(prog.staticCount(CcClass::COMPARE), 2);
+    // cmp,seq,cmp,seq,or = 5 + final store = 6.
+    EXPECT_EQ(prog.staticCount(), 6);
+}
+
+TEST(CcCodegen, Figure3SetConditionallyShape)
+{
+    // Figure 3: seq, seq, or = 3 instructions, no branches (+ store).
+    BoolExprPtr e = paperExample();
+    CcProgram prog = generate(*e, Style::SET_CONDITIONALLY,
+                              Context::STORE);
+    EXPECT_EQ(prog.staticCount(CcClass::BRANCH), 0) << prog.listing();
+    EXPECT_EQ(prog.staticCount(CcClass::COMPARE), 2);
+    EXPECT_EQ(prog.staticCount(), 4); // set, set, or, store
+}
+
+TEST(CcCodegen, SingleLeafJumpIsOneCompareBranch)
+{
+    BoolExprPtr e = orChain(0);
+    CcProgram prog = generate(*e, Style::SET_CONDITIONALLY,
+                              Context::JUMP);
+    EXPECT_EQ(prog.staticCount(), 1) << prog.listing();
+    EXPECT_EQ(prog.staticCount(CcClass::BRANCH), 1);
+}
+
+// ----------------------------------------------- Table 5 (per operator)
+
+/** Marginal per-operator counts: counts(orChain(2)) - counts(orChain(1)). */
+ClassCounts
+marginalStatic(Style style, Context ctx)
+{
+    BoolExprPtr e1 = orChain(1), e2 = orChain(2);
+    ClassCounts a = staticCounts(generate(*e1, style, ctx));
+    ClassCounts b = staticCounts(generate(*e2, style, ctx));
+    return ClassCounts{b.compare - a.compare, b.reg - a.reg,
+                       b.branch - a.branch};
+}
+
+TEST(Table5, SetConditionallyPerOperator)
+{
+    // Paper: 2/1/0 — here the marginal operator adds 1 compare (the
+    // new leaf's set-conditionally) and 1 register op (the OR); the
+    // paper counts both of a single operator's leaves, i.e. 2 compares
+    // per operator at one operator. Check the one-operator absolute.
+    ClassCounts c = staticCounts(generate(*orChain(1),
+                                          Style::SET_CONDITIONALLY,
+                                          Context::STORE));
+    EXPECT_EQ(c.compare, 2);     // two set-conditionally instructions
+    EXPECT_EQ(c.reg, 2);         // or + final store
+    EXPECT_EQ(c.branch, 0);
+}
+
+TEST(Table5, CondSetPerOperator)
+{
+    // Paper: 2/3/0 for one operator (2 cmp, 2 scc + 1 or).
+    ClassCounts c = staticCounts(generate(*orChain(1),
+                                          Style::CC_COND_SET,
+                                          Context::STORE));
+    EXPECT_EQ(c.compare, 2);
+    EXPECT_EQ(c.reg, 4); // 2 scc + or + final store
+    EXPECT_EQ(c.branch, 0);
+}
+
+TEST(Table5, BranchOnlyFullPerOperator)
+{
+    // Paper: 2/2/2 for one operator.
+    ClassCounts c = staticCounts(generate(*orChain(1),
+                                          Style::CC_BRANCH_FULL,
+                                          Context::STORE));
+    EXPECT_EQ(c.compare, 2);
+    EXPECT_EQ(c.branch, 2);
+}
+
+TEST(Table5, BranchOnlyEarlyOutDynamicBranches)
+{
+    // Paper: 2/0/2 static, 2/0/1.5 dynamic per operator in the jump
+    // context (the second branch is skipped when the first leaf
+    // decides).
+    BoolExprPtr e = orChain(1);
+    CcProgram prog = generate(*e, Style::CC_BRANCH_EARLY_OUT,
+                              Context::JUMP);
+    ClassCounts sc = staticCounts(prog);
+    EXPECT_EQ(sc.compare, 2);
+    EXPECT_EQ(sc.reg, 0);
+    EXPECT_EQ(sc.branch, 2);
+    ClassCounts dyn = expectedDynamicCounts(prog, *e);
+    EXPECT_NEAR(dyn.branch, 1.5, 1e-9);
+    EXPECT_NEAR(dyn.compare, 1.5, 1e-9);
+}
+
+TEST(Table5, MarginalOperatorCostsOrdered)
+{
+    // Per additional operator, MIPS-style needs the fewest weighted
+    // operations and branch-only-full the most.
+    CostWeights w;
+    double mips = marginalStatic(Style::SET_CONDITIONALLY,
+                                 Context::STORE)
+        .cost(w.reg_time, w.cmp_time, w.branch_time);
+    double condset = marginalStatic(Style::CC_COND_SET, Context::STORE)
+        .cost(w.reg_time, w.cmp_time, w.branch_time);
+    double full = marginalStatic(Style::CC_BRANCH_FULL, Context::STORE)
+        .cost(w.reg_time, w.cmp_time, w.branch_time);
+    EXPECT_LT(mips, condset);
+    EXPECT_LT(condset, full);
+}
+
+// ------------------------------------------------------- Table 6 costs
+
+TEST(Table6, OrderingMatchesPaper)
+{
+    // The paper's conclusion: set-conditionally < CC/cond-set <
+    // CC/branch-only, in both contexts; early-out narrows but does not
+    // close the gap.
+    ExprMix mix;
+    Table6Entry mips = table6Entry(Style::SET_CONDITIONALLY, mix);
+    Table6Entry condset = table6Entry(Style::CC_COND_SET, mix);
+    Table6Entry full = table6Entry(Style::CC_BRANCH_FULL, mix);
+    Table6Entry early = table6Entry(Style::CC_BRANCH_EARLY_OUT, mix);
+
+    EXPECT_LT(mips.total_cost, condset.total_cost);
+    EXPECT_LT(condset.total_cost, full.total_cost);
+    EXPECT_LT(early.total_cost, full.total_cost);
+    EXPECT_LT(mips.total_cost, early.total_cost);
+
+    // Improvements in the paper's ballpark: conditional set saves
+    // ~33% over branch-only full evaluation; set-conditionally ~53%.
+    double imp_condset = 1.0 - condset.total_cost / full.total_cost;
+    double imp_mips = 1.0 - mips.total_cost / full.total_cost;
+    EXPECT_GT(imp_condset, 0.15);
+    EXPECT_GT(imp_mips, imp_condset);
+    EXPECT_GT(imp_mips, 0.35);
+}
+
+TEST(Table6, JumpContextCostsMoreThanStore)
+{
+    // Reaching a branch decision costs at least as much as storing for
+    // every style (the branch itself is the most expensive op).
+    for (Style style : kAllStyles) {
+        Table6Entry e = table6Entry(style);
+        EXPECT_GT(e.jump_cost, 0.0);
+        EXPECT_GT(e.store_cost, 0.0);
+    }
+}
+
+// ------------------------------------------------------------ Taxonomy
+
+TEST(Taxonomy, MatchesTable2)
+{
+    const auto &machines = ccTaxonomy();
+    ASSERT_EQ(machines.size(), 5u);
+    auto find = [&](const std::string &name) -> const MachineCc & {
+        for (const MachineCc &m : machines)
+            if (m.name == name)
+                return m;
+        ADD_FAILURE() << "missing machine " << name;
+        static MachineCc dummy;
+        return dummy;
+    };
+    EXPECT_FALSE(find("MIPS").has_cc);
+    EXPECT_FALSE(find("PDP-10").has_cc);
+    EXPECT_TRUE(find("VAX").set_on_moves);
+    EXPECT_TRUE(find("M68000").conditional_set);
+    EXPECT_FALSE(find("360").set_on_moves);
+    std::string table = taxonomyTable();
+    EXPECT_NE(table.find("MIPS"), std::string::npos);
+    EXPECT_NE(table.find("Set on moves"), std::string::npos);
+}
+
+} // namespace
+} // namespace mips::ccm
