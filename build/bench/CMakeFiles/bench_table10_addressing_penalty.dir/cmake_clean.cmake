@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_addressing_penalty.dir/bench_table10_addressing_penalty.cc.o"
+  "CMakeFiles/bench_table10_addressing_penalty.dir/bench_table10_addressing_penalty.cc.o.d"
+  "bench_table10_addressing_penalty"
+  "bench_table10_addressing_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_addressing_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_postpass.dir/bench_table11_postpass.cc.o"
+  "CMakeFiles/bench_table11_postpass.dir/bench_table11_postpass.cc.o.d"
+  "bench_table11_postpass"
+  "bench_table11_postpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_postpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

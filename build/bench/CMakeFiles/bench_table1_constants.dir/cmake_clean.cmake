@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_constants.dir/bench_table1_constants.cc.o"
+  "CMakeFiles/bench_table1_constants.dir/bench_table1_constants.cc.o.d"
+  "bench_table1_constants"
+  "bench_table1_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

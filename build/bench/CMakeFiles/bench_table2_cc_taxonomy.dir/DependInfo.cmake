@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_cc_taxonomy.cc" "bench/CMakeFiles/bench_table2_cc_taxonomy.dir/bench_table2_cc_taxonomy.cc.o" "gcc" "bench/CMakeFiles/bench_table2_cc_taxonomy.dir/bench_table2_cc_taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mips_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mips_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/mips_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccm/CMakeFiles/mips_ccm.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/mips_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mips_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mips_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mips_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mips_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_boolexpr_shape.dir/bench_table4_boolexpr_shape.cc.o"
+  "CMakeFiles/bench_table4_boolexpr_shape.dir/bench_table4_boolexpr_shape.cc.o.d"
+  "bench_table4_boolexpr_shape"
+  "bench_table4_boolexpr_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_boolexpr_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

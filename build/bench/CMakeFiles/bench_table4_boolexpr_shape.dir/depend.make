@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_boolexpr_shape.
+# This may be replaced when dependencies are built.

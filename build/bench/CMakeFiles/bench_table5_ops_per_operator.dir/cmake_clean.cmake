@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ops_per_operator.dir/bench_table5_ops_per_operator.cc.o"
+  "CMakeFiles/bench_table5_ops_per_operator.dir/bench_table5_ops_per_operator.cc.o.d"
+  "bench_table5_ops_per_operator"
+  "bench_table5_ops_per_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ops_per_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_refs_word.dir/bench_table7_refs_word.cc.o"
+  "CMakeFiles/bench_table7_refs_word.dir/bench_table7_refs_word.cc.o.d"
+  "bench_table7_refs_word"
+  "bench_table7_refs_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_refs_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

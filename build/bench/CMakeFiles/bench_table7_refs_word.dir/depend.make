@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_refs_word.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_refs_byte.dir/bench_table8_refs_byte.cc.o"
+  "CMakeFiles/bench_table8_refs_byte.dir/bench_table8_refs_byte.cc.o.d"
+  "bench_table8_refs_byte"
+  "bench_table8_refs_byte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_refs_byte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_byte_op_cost.
+# This may be replaced when dependencies are built.

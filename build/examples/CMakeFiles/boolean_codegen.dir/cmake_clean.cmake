@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_codegen.dir/boolean_codegen.cc.o"
+  "CMakeFiles/boolean_codegen.dir/boolean_codegen.cc.o.d"
+  "boolean_codegen"
+  "boolean_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

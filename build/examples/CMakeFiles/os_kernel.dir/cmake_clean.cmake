@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_kernel.dir/os_kernel.cc.o"
+  "CMakeFiles/os_kernel.dir/os_kernel.cc.o.d"
+  "os_kernel"
+  "os_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_library.dir/string_library.cc.o"
+  "CMakeFiles/string_library.dir/string_library.cc.o.d"
+  "string_library"
+  "string_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

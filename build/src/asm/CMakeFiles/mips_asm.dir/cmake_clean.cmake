@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_asm.dir/assembler.cc.o"
+  "CMakeFiles/mips_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/mips_asm.dir/unit.cc.o"
+  "CMakeFiles/mips_asm.dir/unit.cc.o.d"
+  "libmips_asm.a"
+  "libmips_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

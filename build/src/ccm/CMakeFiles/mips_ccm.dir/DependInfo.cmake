@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccm/boolexpr.cc" "src/ccm/CMakeFiles/mips_ccm.dir/boolexpr.cc.o" "gcc" "src/ccm/CMakeFiles/mips_ccm.dir/boolexpr.cc.o.d"
+  "/root/repo/src/ccm/codegen.cc" "src/ccm/CMakeFiles/mips_ccm.dir/codegen.cc.o" "gcc" "src/ccm/CMakeFiles/mips_ccm.dir/codegen.cc.o.d"
+  "/root/repo/src/ccm/cost.cc" "src/ccm/CMakeFiles/mips_ccm.dir/cost.cc.o" "gcc" "src/ccm/CMakeFiles/mips_ccm.dir/cost.cc.o.d"
+  "/root/repo/src/ccm/taxonomy.cc" "src/ccm/CMakeFiles/mips_ccm.dir/taxonomy.cc.o" "gcc" "src/ccm/CMakeFiles/mips_ccm.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/mips_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mips_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_ccm.dir/boolexpr.cc.o"
+  "CMakeFiles/mips_ccm.dir/boolexpr.cc.o.d"
+  "CMakeFiles/mips_ccm.dir/codegen.cc.o"
+  "CMakeFiles/mips_ccm.dir/codegen.cc.o.d"
+  "CMakeFiles/mips_ccm.dir/cost.cc.o"
+  "CMakeFiles/mips_ccm.dir/cost.cc.o.d"
+  "CMakeFiles/mips_ccm.dir/taxonomy.cc.o"
+  "CMakeFiles/mips_ccm.dir/taxonomy.cc.o.d"
+  "libmips_ccm.a"
+  "libmips_ccm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_ccm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

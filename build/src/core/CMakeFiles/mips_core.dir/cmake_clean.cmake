@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_core.dir/experiments.cc.o"
+  "CMakeFiles/mips_core.dir/experiments.cc.o.d"
+  "libmips_core.a"
+  "libmips_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/alu.cc" "src/isa/CMakeFiles/mips_isa.dir/alu.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/alu.cc.o.d"
+  "/root/repo/src/isa/cond.cc" "src/isa/CMakeFiles/mips_isa.dir/cond.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/cond.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/isa/CMakeFiles/mips_isa.dir/disasm.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/mips_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/mips_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/mem.cc" "src/isa/CMakeFiles/mips_isa.dir/mem.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/mem.cc.o.d"
+  "/root/repo/src/isa/registers.cc" "src/isa/CMakeFiles/mips_isa.dir/registers.cc.o" "gcc" "src/isa/CMakeFiles/mips_isa.dir/registers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mips_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_isa.dir/alu.cc.o"
+  "CMakeFiles/mips_isa.dir/alu.cc.o.d"
+  "CMakeFiles/mips_isa.dir/cond.cc.o"
+  "CMakeFiles/mips_isa.dir/cond.cc.o.d"
+  "CMakeFiles/mips_isa.dir/disasm.cc.o"
+  "CMakeFiles/mips_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/mips_isa.dir/encoding.cc.o"
+  "CMakeFiles/mips_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/mips_isa.dir/instruction.cc.o"
+  "CMakeFiles/mips_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/mips_isa.dir/mem.cc.o"
+  "CMakeFiles/mips_isa.dir/mem.cc.o.d"
+  "CMakeFiles/mips_isa.dir/registers.cc.o"
+  "CMakeFiles/mips_isa.dir/registers.cc.o.d"
+  "libmips_isa.a"
+  "libmips_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

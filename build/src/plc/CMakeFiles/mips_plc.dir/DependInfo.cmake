@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plc/codegen.cc" "src/plc/CMakeFiles/mips_plc.dir/codegen.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/codegen.cc.o.d"
+  "/root/repo/src/plc/driver.cc" "src/plc/CMakeFiles/mips_plc.dir/driver.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/driver.cc.o.d"
+  "/root/repo/src/plc/lexer.cc" "src/plc/CMakeFiles/mips_plc.dir/lexer.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/lexer.cc.o.d"
+  "/root/repo/src/plc/optimize.cc" "src/plc/CMakeFiles/mips_plc.dir/optimize.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/optimize.cc.o.d"
+  "/root/repo/src/plc/parser.cc" "src/plc/CMakeFiles/mips_plc.dir/parser.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/parser.cc.o.d"
+  "/root/repo/src/plc/sema.cc" "src/plc/CMakeFiles/mips_plc.dir/sema.cc.o" "gcc" "src/plc/CMakeFiles/mips_plc.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/mips_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mips_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/reorg/CMakeFiles/mips_reorg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mips_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_plc.dir/codegen.cc.o"
+  "CMakeFiles/mips_plc.dir/codegen.cc.o.d"
+  "CMakeFiles/mips_plc.dir/driver.cc.o"
+  "CMakeFiles/mips_plc.dir/driver.cc.o.d"
+  "CMakeFiles/mips_plc.dir/lexer.cc.o"
+  "CMakeFiles/mips_plc.dir/lexer.cc.o.d"
+  "CMakeFiles/mips_plc.dir/optimize.cc.o"
+  "CMakeFiles/mips_plc.dir/optimize.cc.o.d"
+  "CMakeFiles/mips_plc.dir/parser.cc.o"
+  "CMakeFiles/mips_plc.dir/parser.cc.o.d"
+  "CMakeFiles/mips_plc.dir/sema.cc.o"
+  "CMakeFiles/mips_plc.dir/sema.cc.o.d"
+  "libmips_plc.a"
+  "libmips_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

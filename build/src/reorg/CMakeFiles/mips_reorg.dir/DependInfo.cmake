@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorg/dag.cc" "src/reorg/CMakeFiles/mips_reorg.dir/dag.cc.o" "gcc" "src/reorg/CMakeFiles/mips_reorg.dir/dag.cc.o.d"
+  "/root/repo/src/reorg/reorganizer.cc" "src/reorg/CMakeFiles/mips_reorg.dir/reorganizer.cc.o" "gcc" "src/reorg/CMakeFiles/mips_reorg.dir/reorganizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/mips_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mips_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mips_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

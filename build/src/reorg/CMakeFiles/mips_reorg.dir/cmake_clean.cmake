@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_reorg.dir/dag.cc.o"
+  "CMakeFiles/mips_reorg.dir/dag.cc.o.d"
+  "CMakeFiles/mips_reorg.dir/reorganizer.cc.o"
+  "CMakeFiles/mips_reorg.dir/reorganizer.cc.o.d"
+  "libmips_reorg.a"
+  "libmips_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

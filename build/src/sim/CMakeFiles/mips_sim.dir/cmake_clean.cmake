@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_sim.dir/cpu.cc.o"
+  "CMakeFiles/mips_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/mips_sim.dir/functional.cc.o"
+  "CMakeFiles/mips_sim.dir/functional.cc.o.d"
+  "CMakeFiles/mips_sim.dir/machine.cc.o"
+  "CMakeFiles/mips_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mips_sim.dir/mapping.cc.o"
+  "CMakeFiles/mips_sim.dir/mapping.cc.o.d"
+  "CMakeFiles/mips_sim.dir/memory.cc.o"
+  "CMakeFiles/mips_sim.dir/memory.cc.o.d"
+  "CMakeFiles/mips_sim.dir/surprise.cc.o"
+  "CMakeFiles/mips_sim.dir/surprise.cc.o.d"
+  "libmips_sim.a"
+  "libmips_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_support.dir/logging.cc.o"
+  "CMakeFiles/mips_support.dir/logging.cc.o.d"
+  "CMakeFiles/mips_support.dir/stats.cc.o"
+  "CMakeFiles/mips_support.dir/stats.cc.o.d"
+  "CMakeFiles/mips_support.dir/strings.cc.o"
+  "CMakeFiles/mips_support.dir/strings.cc.o.d"
+  "CMakeFiles/mips_support.dir/table.cc.o"
+  "CMakeFiles/mips_support.dir/table.cc.o.d"
+  "libmips_support.a"
+  "libmips_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

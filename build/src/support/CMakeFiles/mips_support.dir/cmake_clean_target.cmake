@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmips_support.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_workload.dir/analyzers.cc.o"
+  "CMakeFiles/mips_workload.dir/analyzers.cc.o.d"
+  "CMakeFiles/mips_workload.dir/corpus.cc.o"
+  "CMakeFiles/mips_workload.dir/corpus.cc.o.d"
+  "libmips_workload.a"
+  "libmips_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccm_test.dir/ccm_test.cc.o"
+  "CMakeFiles/ccm_test.dir/ccm_test.cc.o.d"
+  "ccm_test"
+  "ccm_test.pdb"
+  "ccm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorg_test.dir/reorg_test.cc.o"
+  "CMakeFiles/reorg_test.dir/reorg_test.cc.o.d"
+  "reorg_test"
+  "reorg_test.pdb"
+  "reorg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
