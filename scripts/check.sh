@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, run the full test suite, then run the
+# simulator throughput benchmark and sanity-check its JSON report.
+#
+# Usage:
+#   scripts/check.sh [build-dir]               full check (default ./build)
+#   scripts/check.sh --bench-only [build-dir]  benchmark + JSON check only
+#
+# The --bench-only mode is what the `check_bench_json` CTest target
+# runs: the full mode invokes ctest itself and must not recurse.
+#
+# The benchmark step validates that the report parses and carries both
+# the fast-path and baseline aggregate numbers; it does not enforce a
+# speedup threshold, since CI machines vary (see the committed
+# BENCH_throughput.json for reference numbers).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+bench_only=0
+if [ "${1:-}" = "--bench-only" ]; then
+    bench_only=1
+    shift
+fi
+build_dir=${1:-"$repo_root/build"}
+
+if [ "$bench_only" -eq 0 ]; then
+    if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+        cmake -S "$repo_root" -B "$build_dir"
+    fi
+    cmake --build "$build_dir" -j "$(nproc)"
+    ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure \
+        -E '^check_bench_json$' # the bench check runs below either way
+fi
+
+json=$build_dir/BENCH_throughput.json
+"$build_dir/bench/bench_throughput" --json="$json" \
+    --benchmark_min_time=0.1 > /dev/null
+
+python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+agg = report["aggregate"]
+fast = agg["fastpath_instructions_per_second"]
+slow = agg["baseline_instructions_per_second"]
+if not report["programs"]:
+    sys.exit("bench_throughput reported no programs")
+if fast <= 0 or slow <= 0:
+    sys.exit("bench_throughput reported non-positive throughput")
+print(f"bench_throughput: fastpath {fast/1e6:.1f}M instr/s, "
+      f"baseline {slow/1e6:.1f}M instr/s, speedup {agg['speedup']:.2f}x")
+EOF
+
+echo "check.sh: all green"

@@ -273,9 +273,7 @@ runRefPattern(plc::Layout layout, const char *title,
 
     RefPatternResult result;
     result.refs = profile.value().refs;
-    result.free_bandwidth =
-        static_cast<double>(profile.value().free_data_cycles) /
-        static_cast<double>(profile.value().cycles);
+    result.free_bandwidth = profile.value().freeBandwidth();
 
     const workload::RefPattern &r = result.refs;
     double total = static_cast<double>(r.total());
@@ -642,21 +640,18 @@ runFreeCycles()
         workload::profileCorpus(plc::Layout::WORD_ALLOCATED);
     if (!corpus_profile.ok())
         support::panic("corpus profiling failed");
-    result.corpus_free =
-        static_cast<double>(corpus_profile.value().free_data_cycles) /
-        static_cast<double>(corpus_profile.value().cycles);
+    result.corpus_free = corpus_profile.value().freeBandwidth();
 
-    uint64_t cycles = 0, free = 0;
+    workload::ProfileResult merged;
     for (const workload::CorpusProgram *program :
          {&workload::fibonacciProgram(), &workload::puzzle0Program(),
           &workload::puzzle1Program()}) {
         workload::ProfileResult p = profileOrDie(
             program->name, program->source, plc::Layout::WORD_ALLOCATED);
-        cycles += p.cycles;
-        free += p.free_data_cycles;
+        merged.cycles += p.cycles;
+        merged.free_data_cycles += p.free_data_cycles;
     }
-    result.benchmark_free = static_cast<double>(free) /
-                            static_cast<double>(cycles);
+    result.benchmark_free = merged.freeBandwidth();
 
     TextTable t("Free memory cycles (Section 3.1)");
     t.setHeader({"Workload", "Paper", "Measured free data bandwidth"});

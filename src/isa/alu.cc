@@ -5,90 +5,6 @@
 
 namespace mips::isa {
 
-AluOutputs
-evalAlu(const AluPiece &piece, const AluInputs &in)
-{
-    AluOutputs out;
-    out.writes_rd = aluWritesRd(piece.op);
-    out.writes_lo = aluWritesLo(piece.op);
-
-    switch (piece.op) {
-      case AluOp::ADD:
-        out.rd = support::addOverflow(in.rs, in.src2, &out.overflow);
-        break;
-      case AluOp::SUB:
-        out.rd = support::subOverflow(in.rs, in.src2, &out.overflow);
-        break;
-      case AluOp::RSUB:
-        out.rd = support::subOverflow(in.src2, in.rs, &out.overflow);
-        break;
-      case AluOp::AND:
-        out.rd = in.rs & in.src2;
-        break;
-      case AluOp::OR:
-        out.rd = in.rs | in.src2;
-        break;
-      case AluOp::XOR:
-        out.rd = in.rs ^ in.src2;
-        break;
-      case AluOp::NOT:
-        out.rd = ~in.rs;
-        break;
-      case AluOp::SLL:
-        out.rd = in.rs << (in.src2 & 31);
-        break;
-      case AluOp::SRL:
-        out.rd = in.rs >> (in.src2 & 31);
-        break;
-      case AluOp::SRA:
-        out.rd = static_cast<uint32_t>(
-            static_cast<int32_t>(in.rs) >> (in.src2 & 31));
-        break;
-      case AluOp::XC:
-        // Byte pointer in rs (low two bits), word in src2.
-        out.rd = (in.src2 >> (8 * (in.rs & 3))) & 0xff;
-        break;
-      case AluOp::IC: {
-        // Replace byte (LO & 3) of old rd with the low byte of rs.
-        int shift = 8 * (in.lo & 3);
-        uint32_t byte_mask = 0xffu << shift;
-        out.rd = (in.rd_old & ~byte_mask) |
-                 ((in.rs & 0xff) << shift);
-        break;
-      }
-      case AluOp::MOVI8:
-        out.rd = piece.imm8;
-        break;
-      case AluOp::SET:
-        out.rd = evalCond(piece.cond, in.rs, in.src2) ? 1 : 0;
-        break;
-      case AluOp::MTLO:
-        out.lo = in.rs;
-        break;
-      case AluOp::MFLO:
-        out.rd = in.lo;
-        break;
-      case AluOp::MSTEP:
-        // One shift-and-add multiply step (see header).
-        out.rd = (in.lo & 1) ? in.rd_old + in.rs : in.rd_old;
-        out.lo = in.lo >> 1;
-        break;
-      case AluOp::DSTEP: {
-        // One restoring-division step (see header).
-        uint32_t rem = (in.rd_old << 1) | (in.lo >> 31);
-        uint32_t quo = in.lo << 1;
-        if (rem >= in.rs && in.rs != 0) {
-            rem -= in.rs;
-            quo |= 1;
-        }
-        out.rd = rem;
-        out.lo = quo;
-        break;
-      }
-    }
-    return out;
-}
-
 std::string
 aluOpName(AluOp op)
 {
@@ -113,12 +29,6 @@ aluOpName(AluOp op)
       case AluOp::DSTEP: return "dstep";
     }
     support::panic("aluOpName: bad op %d", static_cast<int>(op));
-}
-
-bool
-aluWritesRd(AluOp op)
-{
-    return op != AluOp::MTLO;
 }
 
 bool
@@ -155,12 +65,6 @@ aluReadsLo(AluOp op)
 {
     return op == AluOp::IC || op == AluOp::MFLO || op == AluOp::MSTEP ||
            op == AluOp::DSTEP;
-}
-
-bool
-aluWritesLo(AluOp op)
-{
-    return op == AluOp::MTLO || op == AluOp::MSTEP || op == AluOp::DSTEP;
 }
 
 bool

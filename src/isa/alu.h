@@ -19,6 +19,7 @@
 
 #include "isa/cond.h"
 #include "isa/registers.h"
+#include "support/bits.h"
 
 namespace mips::isa {
 
@@ -99,9 +100,24 @@ struct AluOutputs
     bool overflow = false;  ///< signed overflow occurred (ADD/SUB/RSUB)
 };
 
+/** True if the op writes its rd register. */
+inline bool
+aluWritesRd(AluOp op)
+{
+    return op != AluOp::MTLO;
+}
+
+/** True if the op writes the LO special register. */
+inline bool
+aluWritesLo(AluOp op)
+{
+    return op == AluOp::MTLO || op == AluOp::MSTEP || op == AluOp::DSTEP;
+}
+
 /**
  * Pure combinational ALU semantics, shared by the functional executor
- * and the pipeline simulator.
+ * and the pipeline simulator. Inline — the pipeline simulator runs one
+ * of these per simulated ALU piece, i.e. on almost every cycle.
  *
  * MSTEP implements one step of a shift-and-add multiply: LO holds the
  * multiplier; if its low bit is set rd += rs; then LO >>= 1 and rs is
@@ -111,13 +127,92 @@ struct AluOutputs
  * shifted left by one bringing in the top bit of LO, LO shifts left;
  * if rd >= rs then rd -= rs and the low bit of LO is set.
  */
-AluOutputs evalAlu(const AluPiece &piece, const AluInputs &in);
+inline AluOutputs
+evalAlu(const AluPiece &piece, const AluInputs &in)
+{
+    AluOutputs out;
+    out.writes_rd = aluWritesRd(piece.op);
+    out.writes_lo = aluWritesLo(piece.op);
+
+    switch (piece.op) {
+      case AluOp::ADD:
+        out.rd = support::addOverflow(in.rs, in.src2, &out.overflow);
+        break;
+      case AluOp::SUB:
+        out.rd = support::subOverflow(in.rs, in.src2, &out.overflow);
+        break;
+      case AluOp::RSUB:
+        out.rd = support::subOverflow(in.src2, in.rs, &out.overflow);
+        break;
+      case AluOp::AND:
+        out.rd = in.rs & in.src2;
+        break;
+      case AluOp::OR:
+        out.rd = in.rs | in.src2;
+        break;
+      case AluOp::XOR:
+        out.rd = in.rs ^ in.src2;
+        break;
+      case AluOp::NOT:
+        out.rd = ~in.rs;
+        break;
+      case AluOp::SLL:
+        out.rd = in.rs << (in.src2 & 31);
+        break;
+      case AluOp::SRL:
+        out.rd = in.rs >> (in.src2 & 31);
+        break;
+      case AluOp::SRA:
+        out.rd = static_cast<uint32_t>(
+            static_cast<int32_t>(in.rs) >> (in.src2 & 31));
+        break;
+      case AluOp::XC:
+        // Byte pointer in rs (low two bits), word in src2.
+        out.rd = (in.src2 >> (8 * (in.rs & 3))) & 0xff;
+        break;
+      case AluOp::IC: {
+        // Replace byte (LO & 3) of old rd with the low byte of rs.
+        int shift = 8 * (in.lo & 3);
+        uint32_t byte_mask = 0xffu << shift;
+        out.rd = (in.rd_old & ~byte_mask) |
+                 ((in.rs & 0xff) << shift);
+        break;
+      }
+      case AluOp::MOVI8:
+        out.rd = piece.imm8;
+        break;
+      case AluOp::SET:
+        out.rd = evalCond(piece.cond, in.rs, in.src2) ? 1 : 0;
+        break;
+      case AluOp::MTLO:
+        out.lo = in.rs;
+        break;
+      case AluOp::MFLO:
+        out.rd = in.lo;
+        break;
+      case AluOp::MSTEP:
+        // One shift-and-add multiply step (see above).
+        out.rd = (in.lo & 1) ? in.rd_old + in.rs : in.rd_old;
+        out.lo = in.lo >> 1;
+        break;
+      case AluOp::DSTEP: {
+        // One restoring-division step (see above).
+        uint32_t rem = (in.rd_old << 1) | (in.lo >> 31);
+        uint32_t quo = in.lo << 1;
+        if (rem >= in.rs && in.rs != 0) {
+            rem -= in.rs;
+            quo |= 1;
+        }
+        out.rd = rem;
+        out.lo = quo;
+        break;
+      }
+    }
+    return out;
+}
 
 /** Mnemonic for an ALU op, e.g. "add", "xc", "seteq" (SET uses cond). */
 std::string aluOpName(AluOp op);
-
-/** True if the op writes its rd register. */
-bool aluWritesRd(AluOp op);
 
 /** True if the op reads its rs register. */
 bool aluReadsRs(AluOp op);
@@ -130,9 +225,6 @@ bool aluReadsRdOld(AluOp op);
 
 /** True if the op reads the LO special register. */
 bool aluReadsLo(AluOp op);
-
-/** True if the op writes the LO special register. */
-bool aluWritesLo(AluOp op);
 
 /** True if the op can raise an overflow trap. */
 bool aluCanOverflow(AluOp op);

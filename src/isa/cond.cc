@@ -4,31 +4,15 @@
 
 namespace mips::isa {
 
-bool
-evalCond(Cond c, uint32_t a, uint32_t b)
+namespace detail {
+
+void
+badCond(int c)
 {
-    int32_t sa = static_cast<int32_t>(a);
-    int32_t sb = static_cast<int32_t>(b);
-    switch (c) {
-      case Cond::ALWAYS: return true;
-      case Cond::NEVER:  return false;
-      case Cond::EQ:     return a == b;
-      case Cond::NE:     return a != b;
-      case Cond::LT:     return sa < sb;
-      case Cond::LE:     return sa <= sb;
-      case Cond::GT:     return sa > sb;
-      case Cond::GE:     return sa >= sb;
-      case Cond::LTU:    return a < b;
-      case Cond::LEU:    return a <= b;
-      case Cond::GTU:    return a > b;
-      case Cond::GEU:    return a >= b;
-      case Cond::MI:     return sa < 0;
-      case Cond::PL:     return sa >= 0;
-      case Cond::EVN:    return (a & 1) == 0;
-      case Cond::ODD:    return (a & 1) == 1;
-    }
-    support::panic("evalCond: bad cond %d", static_cast<int>(c));
+    support::panic("evalCond: bad cond %d", c);
 }
+
+} // namespace detail
 
 Cond
 negateCond(Cond c)

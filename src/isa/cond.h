@@ -41,8 +41,38 @@ enum class Cond : uint8_t
 /** Number of comparison codes. */
 constexpr int kNumConds = 16;
 
-/** Evaluate a comparison on 32-bit operands. */
-bool evalCond(Cond c, uint32_t a, uint32_t b);
+namespace detail {
+/** Out-of-line panic keeping the hot inline path free of logging. */
+[[noreturn]] void badCond(int c);
+} // namespace detail
+
+/** Evaluate a comparison on 32-bit operands. Inline — the pipeline
+ *  simulator evaluates one of these per simulated branch. */
+inline bool
+evalCond(Cond c, uint32_t a, uint32_t b)
+{
+    int32_t sa = static_cast<int32_t>(a);
+    int32_t sb = static_cast<int32_t>(b);
+    switch (c) {
+      case Cond::ALWAYS: return true;
+      case Cond::NEVER:  return false;
+      case Cond::EQ:     return a == b;
+      case Cond::NE:     return a != b;
+      case Cond::LT:     return sa < sb;
+      case Cond::LE:     return sa <= sb;
+      case Cond::GT:     return sa > sb;
+      case Cond::GE:     return sa >= sb;
+      case Cond::LTU:    return a < b;
+      case Cond::LEU:    return a <= b;
+      case Cond::GTU:    return a > b;
+      case Cond::GEU:    return a >= b;
+      case Cond::MI:     return sa < 0;
+      case Cond::PL:     return sa >= 0;
+      case Cond::EVN:    return (a & 1) == 0;
+      case Cond::ODD:    return (a & 1) == 1;
+    }
+    detail::badCond(static_cast<int>(c));
+}
 
 /** The logical negation (evalCond(negate(c),a,b) == !evalCond(c,a,b)). */
 Cond negateCond(Cond c);

@@ -5,25 +5,16 @@
 
 namespace mips::isa {
 
-uint32_t
-memEffectiveAddress(const MemPiece &piece, uint32_t base_val,
-                    uint32_t index_val)
+namespace detail {
+
+void
+badMemMode(int mode)
 {
-    switch (piece.mode) {
-      case MemMode::LONG_IMM:
-        support::panic("memEffectiveAddress on LONG_IMM");
-      case MemMode::ABSOLUTE:
-        return static_cast<uint32_t>(piece.imm);
-      case MemMode::DISP:
-        return base_val + static_cast<uint32_t>(piece.imm);
-      case MemMode::BASE_INDEX:
-        return base_val + index_val;
-      case MemMode::BASE_SHIFT:
-        return base_val + (index_val >> piece.shift);
-    }
-    support::panic("memEffectiveAddress: bad mode %d",
-                   static_cast<int>(piece.mode));
+    support::panic("memEffectiveAddress: bad mode %d (LONG_IMM makes "
+                   "no memory reference)", mode);
 }
+
+} // namespace detail
 
 bool
 memReferencesMemory(const MemPiece &piece)

@@ -49,12 +49,35 @@ struct MemPiece
     bool operator==(const MemPiece &) const = default;
 };
 
+namespace detail {
+/** Out-of-line panic keeping the hot inline path free of logging. */
+[[noreturn]] void badMemMode(int mode);
+} // namespace detail
+
 /**
  * Compute the effective *word* address given operand register values.
  * Must not be called for LONG_IMM (which makes no memory reference).
+ * Inline — the pipeline simulator computes one per simulated memory
+ * reference.
  */
-uint32_t memEffectiveAddress(const MemPiece &piece, uint32_t base_val,
-                             uint32_t index_val);
+inline uint32_t
+memEffectiveAddress(const MemPiece &piece, uint32_t base_val,
+                    uint32_t index_val)
+{
+    switch (piece.mode) {
+      case MemMode::LONG_IMM:
+        break; // no memory reference; fall through to the panic
+      case MemMode::ABSOLUTE:
+        return static_cast<uint32_t>(piece.imm);
+      case MemMode::DISP:
+        return base_val + static_cast<uint32_t>(piece.imm);
+      case MemMode::BASE_INDEX:
+        return base_val + index_val;
+      case MemMode::BASE_SHIFT:
+        return base_val + (index_val >> piece.shift);
+    }
+    detail::badMemMode(static_cast<int>(piece.mode));
+}
 
 /** True if the piece actually touches memory (everything but LONG_IMM). */
 bool memReferencesMemory(const MemPiece &piece);

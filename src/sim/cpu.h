@@ -31,14 +31,27 @@
  * The dual instruction/data memory interface is modelled by counting,
  * each cycle, whether the data port was used; idle data cycles are the
  * paper's *free memory cycles* (Section 3.1).
+ *
+ * **Host fast path.** Cycle-level fidelity does not require paying
+ * host-side decode and hash-lookup costs every cycle. The simulator
+ * keeps a direct-mapped *predecoded instruction cache* of
+ * {physical address, word, Instruction} entries consulted before
+ * isa::decode(), invalidated per word on every memory write (CPU
+ * stores, host poke()/loadImage() — PhysMemory holds the shared tag
+ * array and clears the matching tag in place, see attachDecodeTags)
+ * and wholesale on reset(); together with the MappingUnit micro-TLB it
+ * makes the common step() a handful of array accesses. The fast path
+ * is behaviour-preserving by construction; enableFastPath(false)
+ * forces the reference slow path (full decode + hash translate every
+ * cycle) so tests can assert bit-identical statistics.
  */
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/instruction.h"
 #include "sim/mapping.h"
@@ -56,10 +69,18 @@ enum class StopReason
     SIM_ERROR,   ///< architecturally undefined behaviour detected
 };
 
-/** Execution statistics, including the free-memory-cycle accounting. */
+/**
+ * Execution statistics, including the free-memory-cycle accounting.
+ *
+ * `cycles` counts every issued instruction word, one per machine
+ * cycle — *including* the cycles spent in exception dispatch and
+ * handler code, since the machine issues those words too. Metrics
+ * derived from `cycles` (freeBandwidth() in particular) therefore
+ * reflect whole-machine behaviour, not just the user program.
+ */
 struct CpuStats
 {
-    uint64_t cycles = 0;          ///< == instructions issued
+    uint64_t cycles = 0;          ///< instructions issued (see above)
     uint64_t alu_pieces = 0;
     uint64_t loads = 0;           ///< memory-referencing loads
     uint64_t stores = 0;
@@ -73,13 +94,20 @@ struct CpuStats
     uint64_t exceptions = 0;      ///< all causes, including traps
     uint64_t free_data_cycles = 0;///< cycles with the data port idle
 
-    /** Fraction of data-memory bandwidth left unused. */
+    /**
+     * Fraction of data-memory bandwidth left unused: the Section 3.1
+     * "free memory cycles" ratio, free_data_cycles / cycles. This is
+     * the one canonical place the ratio is computed; report code
+     * should call it rather than re-deriving it from the fields.
+     */
     double
     freeBandwidth() const
     {
         return cycles ? static_cast<double>(free_data_cycles) /
                         static_cast<double>(cycles) : 0.0;
     }
+
+    bool operator==(const CpuStats &) const = default;
 };
 
 /** The simulated processor. */
@@ -87,8 +115,14 @@ class Cpu
 {
   public:
     Cpu(PhysMemory &memory, MappingUnit &mapping);
+    ~Cpu();
 
-    /** Reset: supervisor, unmapped, PC = `pc`, registers cleared. */
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /** Reset: supervisor, unmapped, PC = `pc`, registers cleared.
+     *  Also clears the profiling counts. The predecode cache survives:
+     *  write-driven invalidation keeps it coherent across resets. */
     void reset(uint32_t pc = 0);
 
     /** Execute one instruction (one cycle). */
@@ -105,7 +139,7 @@ class Cpu
     void setLo(uint32_t value) { lo_ = value; }
 
     /** Address of the next instruction to execute. */
-    uint32_t pc() const { return stream_.front(); }
+    uint32_t pc() const { return stream_[0]; }
     void setPc(uint32_t pc);
 
     Surprise &surprise() { return sr_; }
@@ -119,14 +153,31 @@ class Cpu
     const CpuStats &stats() const { return stats_; }
     void clearStats() { stats_ = CpuStats{}; }
 
+    // --- Profiling ------------------------------------------------------
+
     /** Record per-PC execution counts (used by the reference-pattern
-     *  experiments); off by default. */
+     *  experiments); off by default. Counts are dense per-page arrays,
+     *  not a hash map, so profiled runs stay fast. */
     void enableProfiling(bool on) { profiling_ = on; }
-    const std::unordered_map<uint32_t, uint64_t> &
-    execCounts() const
-    {
-        return exec_counts_;
-    }
+
+    /** Times the instruction at `pc` issued since the last reset(). */
+    uint64_t execCount(uint32_t pc) const;
+
+    // --- Host fast path -------------------------------------------------
+
+    /**
+     * Enable/disable the simulator fast path (predecoded instruction
+     * cache here plus the MappingUnit micro-TLB). On by default;
+     * disabling forces the reference decode/translate path on every
+     * cycle. Results are identical either way — the switch exists so
+     * benchmarks can measure the speedup and tests can assert parity.
+     */
+    void enableFastPath(bool on);
+    bool fastPathEnabled() const { return fast_path_; }
+
+    /** Predecode-cache hit/miss counters (host-side, not simulated). */
+    uint64_t decodeCacheHits() const { return decode_hits_; }
+    uint64_t decodeCacheMisses() const { return decode_misses_; }
 
     /** Description of the last SIM_ERROR. */
     const std::string &errorMessage() const { return error_; }
@@ -149,10 +200,17 @@ class Cpu
     void enter(Cause cause, uint16_t detail,
                const std::array<uint32_t, 3> &ras);
 
-    /** Keep at least three known upcoming PCs in the stream. */
-    void refillStream();
+    /** Redirect the stream: keep the first `delay` upcoming addresses
+     *  (the transfer's delay slots), then continue at `target`. */
+    void redirectStream(int delay, uint32_t target);
 
     StopReason simError(std::string message);
+
+    /** Bump the execution count for `pc` (profiling enabled). */
+    void recordExec(uint32_t pc);
+
+    /** Compute the execution shape (Kind) of a decoded word. */
+    static uint8_t classifyWord(const isa::Instruction &inst);
 
     PhysMemory &mem_;
     MappingUnit &map_;
@@ -163,8 +221,12 @@ class Cpu
     std::array<uint32_t, 3> ra_{};
     uint32_t fault_addr_ = 0;
 
-    /** Upcoming instruction addresses; front() is the next to run. */
-    std::deque<uint32_t> stream_;
+    /** The next three instruction addresses; [0] is the next to run.
+     *  Always full — a fixed array, not a deque, because this is
+     *  touched every simulated cycle. Three entries suffice: no
+     *  transfer has more than two delay slots, so the stream beyond
+     *  [2] is always sequential ([2]+1, [2]+2, ...). */
+    std::array<uint32_t, 3> stream_{};
 
     /** Pending load write (commits after the next instruction reads). */
     bool load_pending_ = false;
@@ -178,8 +240,118 @@ class Cpu
     std::string error_;
 
     CpuStats stats_;
+
+    // Profiling state: dense counters for the PCs real programs use,
+    // with a hash-map overflow for pathological (wild-jump) addresses.
+    static constexpr uint32_t kProfileDenseLimit = 1u << 22;
     bool profiling_ = false;
-    std::unordered_map<uint32_t, uint64_t> exec_counts_;
+    std::vector<uint64_t> exec_dense_;
+    std::unordered_map<uint32_t, uint64_t> exec_sparse_;
+
+    // Predecoded instruction cache: direct-mapped, keyed by physical
+    // address. An entry is valid iff tag == address (kNoTag never
+    // matches a fetchable address). MMIO fetches are never cached.
+    // Besides the decoded pieces, an entry carries the per-word
+    // predicates step() needs every cycle, precomputed once at fill,
+    // and the word's execution *shape* so the fast path can dispatch
+    // straight to a specialized handler instead of re-discovering
+    // which pieces are present every cycle.
+    enum Kind : uint8_t
+    {
+        K_GENERIC = 0, ///< anything unusual: specials, odd packings
+        K_NOP,
+        K_ALU,     ///< ALU piece only
+        K_LONGIMM, ///< long-immediate load (no memory reference)
+        K_LOAD,    ///< memory-referencing load, no ALU piece
+        K_STORE,   ///< store, no ALU piece
+        K_PACKED,  ///< ALU + memory-referencing load/store in one word
+        K_BRANCH,
+        K_JUMP,
+    };
+    struct DecodeEntry
+    {
+        uint32_t word;
+        bool uses_data_port;
+        bool is_nop;
+        isa::Instruction inst;
+    };
+
+    /** Memory-piece parameters compacted for the dispatch cases,
+     *  including the branchless effective-address formula precomputed
+     *  at fill:
+     *    ea = (base & ea_base_mask)
+     *       + ((index >> ea_shift) & ea_index_mask)
+     *       + ea_imm
+     *  covering all four referencing modes without the per-cycle
+     *  mode switch. */
+    struct MemLite
+    {
+        uint32_t ea_base_mask;
+        uint32_t ea_index_mask;
+        uint32_t ea_imm;
+        uint8_t ea_shift;
+        uint8_t base;  ///< base register number
+        uint8_t index; ///< index register number
+        uint8_t rd;    ///< data register number
+    };
+
+    /** Hot predecoded entry: exactly what the specialized dispatch
+     *  reads per cycle, packed into 28 bytes. The full DecodeEntry
+     *  above carries a 72-byte Instruction, which pushes the payload
+     *  working set of a few-hundred-word program out of L1; the hot
+     *  array keeps it resident. Full entries are only touched by the
+     *  fill path and by K_GENERIC words (specials, odd packings). */
+    struct HotEntry
+    {
+        uint8_t kind = K_GENERIC;
+        bool mem_is_store = false; ///< K_STORE / K_PACKED store piece
+        union U
+        {
+            isa::AluPiece alu;       ///< K_ALU
+            MemLite mem;             ///< K_LOAD / K_STORE / K_LONGIMM
+            struct
+            {
+                isa::AluPiece alu;
+                MemLite mem;
+            } packed;                ///< K_PACKED
+            isa::BranchPiece branch; ///< K_BRANCH
+            isa::JumpPiece jump;     ///< K_JUMP
+
+            U() : alu{} {}
+        } u;
+    };
+
+    /** Compact a memory piece for the dispatch cases. */
+    static MemLite memLite(const isa::MemPiece &m);
+
+    /** Classify `inst` and fill `h` with its dispatch parameters. */
+    static void fillHot(HotEntry *h, const isa::Instruction &inst);
+
+    /** step() without the halted check; run() guards once up front. */
+    StopReason stepInner();
+
+    /** Decode-cache miss: read the word, decode, fill the slot (or the
+     *  MMIO scratch pair) and point *h / *e at it. False if the word is
+     *  illegal — the caller raises the fault. */
+    bool fillDecodeSlot(uint32_t fetch_phys, uint32_t slot,
+                        const HotEntry **h, const DecodeEntry **e);
+    static constexpr uint32_t kNoTag = 0xffffffffu;
+    static constexpr uint32_t kDecodeCacheSize = 1u << 12; ///< power of 2
+
+    bool fast_path_ = true;
+    /** Tags live apart from the payloads: the 16 KB tag array stays
+     *  L1-resident, so the per-fetch probe and the per-store
+     *  invalidation check never touch the big payload array unless
+     *  they actually hit. decode_tags_[i] owns the validity of
+     *  decode_cache_[i]. */
+    std::vector<uint32_t> decode_tags_;
+    std::vector<HotEntry> decode_hot_;
+    std::vector<DecodeEntry> decode_cache_;
+    uint64_t decode_hits_ = 0;
+    uint64_t decode_misses_ = 0;
+    isa::Instruction slow_inst_; ///< decode target when not caching
+    DecodeEntry mmio_entry_;     ///< scratch for uncacheable MMIO fetches
+    HotEntry mmio_hot_;          ///< dispatch scratch for MMIO fetches
 };
 
 } // namespace mips::sim

@@ -17,6 +17,21 @@ MappingUnit::configure(uint8_t seg_bits, uint32_t pid)
         support::panic("MappingUnit: pid must be 0 with seg_bits 0");
     seg_bits_ = seg_bits;
     pid_ = pid;
+    flushTlb();
+}
+
+void
+MappingUnit::flushTlb()
+{
+    for (TlbEntry &e : tlb_)
+        e = TlbEntry{};
+}
+
+void
+MappingUnit::setTlbEnabled(bool on)
+{
+    tlb_enabled_ = on;
+    flushTlb();
 }
 
 uint32_t
@@ -40,7 +55,7 @@ MappingUnit::fold(uint32_t program_addr) const
 }
 
 Translation
-MappingUnit::translate(uint32_t program_addr, bool is_write)
+MappingUnit::translateSlow(uint32_t program_addr, bool is_write)
 {
     ++translations_;
     Translation t;
@@ -73,6 +88,19 @@ MappingUnit::translate(uint32_t program_addr, bool is_write)
     t.ok = true;
     t.phys = (it->second.frame << kPageBits) |
              (*sva & (kPageWords - 1));
+
+    if (tlb_enabled_) {
+        // A program page maps to one sva page (the segment window is a
+        // whole number of pages), so caching by program page is sound.
+        // PageEntry pointers are stable: pages_ never erases nodes.
+        uint32_t vpage = program_addr >> kPageBits;
+        TlbEntry &e = tlb_[vpage & (kTlbSize - 1)];
+        e.tag = vpage;
+        e.phys_base = it->second.frame << kPageBits;
+        e.writable = it->second.writable;
+        e.dirty_done = is_write; // this walk just set dirty iff writing
+        e.entry = &it->second;
+    }
     return t;
 }
 
@@ -85,6 +113,7 @@ MappingUnit::installPage(uint32_t sva, uint32_t phys_frame, bool resident,
     entry.resident = resident;
     entry.writable = writable;
     pages_[sva >> kPageBits] = entry;
+    flushTlb();
 }
 
 void
@@ -93,6 +122,7 @@ MappingUnit::evictPage(uint32_t sva)
     auto it = pages_.find(sva >> kPageBits);
     if (it != pages_.end())
         it->second.resident = false;
+    flushTlb();
 }
 
 const PageEntry *
@@ -109,6 +139,9 @@ MappingUnit::clearUsageBits()
         entry.referenced = false;
         entry.dirty = false;
     }
+    // Live TLB entries assume referenced/dirty are already recorded;
+    // flush so the next reference re-walks and re-sets them.
+    flushTlb();
 }
 
 } // namespace mips::sim

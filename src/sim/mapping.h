@@ -16,9 +16,21 @@
  * inside the machine-wide 16M-word (24-bit) virtual space, which the
  * off-chip page map translates to physical page frames with demand
  * paging.
+ *
+ * A host-side **micro-TLB** sits in front of the fold + page-map hash
+ * lookup: a small direct-mapped array of {program page, frame,
+ * writable} entries, so the common translate is a mask-and-compare
+ * instead of a hash-map probe. It is purely a simulation fast path —
+ * hit and miss paths produce identical translations, fault causes,
+ * referenced/dirty bits, and translation/fault counters. The TLB is
+ * flushed on every page-map mutation (installPage/evictPage) and on
+ * reconfiguration (configure); the CPU additionally flushes it on
+ * mapping enable/disable and supervisor/user swaps (exception entry,
+ * RFE, and surprise-register writes).
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -80,8 +92,39 @@ class MappingUnit
      */
     std::optional<uint32_t> fold(uint32_t program_addr) const;
 
-    /** Translate a program address through segmentation + page map. */
-    Translation translate(uint32_t program_addr, bool is_write);
+    /** Translate a program address through segmentation + page map.
+     *  On the CPU's per-reference critical path: the micro-TLB hit is
+     *  fully inline; misses fall out of line to the fold + hash-map
+     *  reference walk. Hit and miss are side-effect-identical (same
+     *  counters, same referenced/dirty updates). */
+    Translation
+    translate(uint32_t program_addr, bool is_write)
+    {
+        if (tlb_enabled_) {
+            uint32_t vpage = program_addr >> kPageBits;
+            TlbEntry &e = tlb_[vpage & (kTlbSize - 1)];
+            // Write access through a read-only entry falls through so
+            // the reference walk raises the fault.
+            if (e.tag == vpage && (!is_write || e.writable)) [[likely]] {
+                ++translations_;
+                ++tlb_hits_;
+                // referenced was set when the entry was filled and
+                // clearUsageBits() flushes the TLB, so a live entry
+                // implies the bit is already up to date; dirty is
+                // propagated once per entry lifetime.
+                if (is_write && !e.dirty_done) {
+                    e.entry->dirty = true;
+                    e.dirty_done = true;
+                }
+                Translation hit;
+                hit.ok = true;
+                hit.phys = e.phys_base | (program_addr & (kPageWords - 1));
+                return hit;
+            }
+            ++tlb_misses_;
+        }
+        return translateSlow(program_addr, is_write);
+    }
 
     // --- Page-map management (what the OS would do) --------------------
 
@@ -95,7 +138,9 @@ class MappingUnit
     /** Entry for the page containing `sva`, if present. */
     const PageEntry *findPage(uint32_t sva) const;
 
-    /** Clear referenced/dirty bits (page-replacement bookkeeping). */
+    /** Clear referenced/dirty bits (page-replacement bookkeeping).
+     *  Flushes the micro-TLB: cached entries assume the bits of a live
+     *  entry are already set, so the next reference must re-walk. */
     void clearUsageBits();
 
     /** Number of installed (resident or not) page entries. */
@@ -105,12 +150,48 @@ class MappingUnit
     uint64_t translations() const { return translations_; }
     uint64_t faults() const { return faults_; }
 
+    // --- Micro-TLB (simulation fast path) -------------------------------
+
+    /** Drop every cached translation. Correct-by-construction callers:
+     *  page-map mutation, reconfiguration, mapping enable/disable,
+     *  usage-bit clearing, and privilege swaps. */
+    void flushTlb();
+
+    /** Enable/disable the micro-TLB (disabling also flushes). The
+     *  reference (`--no-fastpath`) runs disable it to prove parity. */
+    void setTlbEnabled(bool on);
+    bool tlbEnabled() const { return tlb_enabled_; }
+
+    uint64_t tlbHits() const { return tlb_hits_; }
+    uint64_t tlbMisses() const { return tlb_misses_; }
+
   private:
+    /** TLB-missing translate: fold + page-map walk, then refill. */
+    Translation translateSlow(uint32_t program_addr, bool is_write);
+
+    /** Direct-mapped micro-TLB entry, keyed by program page number. */
+    struct TlbEntry
+    {
+        uint32_t tag = kInvalidTlbTag; ///< program-address page number
+        uint32_t phys_base = 0;        ///< frame << kPageBits
+        bool writable = false;
+        bool dirty_done = false;       ///< page dirty bit already set
+        PageEntry *entry = nullptr;    ///< for dirty propagation
+    };
+
+    static constexpr uint32_t kInvalidTlbTag = 0xffffffffu;
+    static constexpr uint32_t kTlbSize = 16; ///< power of two
+
     uint8_t seg_bits_ = 0;
     uint32_t pid_ = 0;
     std::unordered_map<uint32_t, PageEntry> pages_; ///< by sva page no.
     uint64_t translations_ = 0;
     uint64_t faults_ = 0;
+
+    std::array<TlbEntry, kTlbSize> tlb_{};
+    bool tlb_enabled_ = true;
+    uint64_t tlb_hits_ = 0;
+    uint64_t tlb_misses_ = 0;
 };
 
 } // namespace mips::sim

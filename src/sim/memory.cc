@@ -4,68 +4,58 @@
 
 namespace mips::sim {
 
-PhysMemory::PhysMemory(uint32_t size_words) : words_(size_words, 0)
+PhysMemory::PhysMemory(uint32_t size_words)
+    : size_words_(size_words), words_(size_words, 0)
 {
-}
-
-bool
-PhysMemory::isMmio(uint32_t addr) const
-{
-    return addr >= kMmioBase && addr < kMmioBase + 16 &&
-           addr < words_.size();
-}
-
-uint32_t
-PhysMemory::read(uint32_t addr)
-{
-    if (!valid(addr))
-        support::panic("PhysMemory::read out of range: 0x%x", addr);
-    if (isMmio(addr)) {
-        switch (static_cast<MmioReg>(addr - kMmioBase)) {
-          case MmioReg::CONSOLE_STATUS:
-            return 1;
-          case MmioReg::INT_SOURCE:
-            return highestPendingDevice();
-          case MmioReg::CYCLES_LO:
-            return static_cast<uint32_t>(cycles_);
-          default:
-            return 0;
-        }
-    }
-    return words_[addr];
 }
 
 void
-PhysMemory::write(uint32_t addr, uint32_t value)
+PhysMemory::outOfRange(const char *op, uint32_t addr) const
 {
-    if (!valid(addr))
-        support::panic("PhysMemory::write out of range: 0x%x", addr);
-    if (isMmio(addr)) {
-        switch (static_cast<MmioReg>(addr - kMmioBase)) {
-          case MmioReg::CONSOLE_OUT:
-            console_.push_back(static_cast<char>(value & 0xff));
-            break;
-          case MmioReg::INT_ACK:
-            if (value < 32)
-                pending_devices_ &= ~(1u << value);
-            break;
-          case MmioReg::MAP_SVA:
-            map_sva_ = value;
-            break;
-          case MmioReg::MAP_INSTALL:
-            if (map_hook_)
-                map_hook_(true, map_sva_, value);
-            break;
-          case MmioReg::MAP_EVICT:
-            if (map_hook_)
-                map_hook_(false, map_sva_, value);
-            break;
-          default:
-            break;
-        }
-        return;
+    support::panic("PhysMemory::%s out of range: 0x%x", op, addr);
+}
+
+uint32_t
+PhysMemory::readMmio(uint32_t addr)
+{
+    switch (static_cast<MmioReg>(addr - kMmioBase)) {
+      case MmioReg::CONSOLE_STATUS:
+        return 1;
+      case MmioReg::INT_SOURCE:
+        return highestPendingDevice();
+      case MmioReg::CYCLES_LO:
+        return static_cast<uint32_t>(cycle_source_ ? *cycle_source_
+                                                   : cycles_);
+      default:
+        return 0;
     }
-    words_[addr] = value;
+}
+
+void
+PhysMemory::writeMmio(uint32_t addr, uint32_t value)
+{
+    switch (static_cast<MmioReg>(addr - kMmioBase)) {
+      case MmioReg::CONSOLE_OUT:
+        console_.push_back(static_cast<char>(value & 0xff));
+        break;
+      case MmioReg::INT_ACK:
+        if (value < 32)
+            pending_devices_ &= ~(1u << value);
+        break;
+      case MmioReg::MAP_SVA:
+        map_sva_ = value;
+        break;
+      case MmioReg::MAP_INSTALL:
+        if (map_hook_)
+            map_hook_(true, map_sva_, value);
+        break;
+      case MmioReg::MAP_EVICT:
+        if (map_hook_)
+            map_hook_(false, map_sva_, value);
+        break;
+      default:
+        break;
+    }
 }
 
 uint32_t
@@ -81,7 +71,7 @@ PhysMemory::poke(uint32_t addr, uint32_t value)
 {
     if (!valid(addr))
         support::panic("PhysMemory::poke out of range: 0x%x", addr);
-    words_[addr] = value;
+    ramWrite(addr, value);
 }
 
 void

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mips::sim {
@@ -24,6 +25,9 @@ constexpr uint32_t kDefaultPhysWords = 1u << 20;
 
 /** First word of the MMIO window (within the default size). */
 constexpr uint32_t kMmioBase = 0x000ff000;
+
+/** Words in the MMIO window. */
+constexpr uint32_t kMmioWindowWords = 16;
 
 /** MMIO registers (word offsets from kMmioBase). */
 enum class MmioReg : uint32_t
@@ -47,19 +51,64 @@ class PhysMemory
     explicit PhysMemory(uint32_t size_words = kDefaultPhysWords);
 
     /** Number of addressable words. */
-    uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+    uint32_t size() const { return size_words_; }
 
     /** True if `addr` is a valid physical word address. */
-    bool valid(uint32_t addr) const { return addr < words_.size(); }
+    bool valid(uint32_t addr) const { return addr < size_words_; }
 
     /** True if `addr` falls in the MMIO window. */
-    bool isMmio(uint32_t addr) const;
+    bool
+    isMmio(uint32_t addr) const
+    {
+        // Unsigned wrap: one compare for [kMmioBase, kMmioBase + 16).
+        return addr - kMmioBase < kMmioWindowWords && addr < size_words_;
+    }
 
-    /** Read a word; MMIO reads consult the devices. */
-    uint32_t read(uint32_t addr);
+    /** Read a word; MMIO reads consult the devices. On the CPU's
+     *  critical path — the common (RAM) case is fully inline. */
+    uint32_t
+    read(uint32_t addr)
+    {
+        if (addr >= size_words_)
+            outOfRange("read", addr);
+        if (addr - kMmioBase < kMmioWindowWords)
+            return readMmio(addr);
+        return words_[addr];
+    }
 
-    /** Write a word; MMIO writes drive the devices. */
-    void write(uint32_t addr, uint32_t value);
+    /** Write a word; MMIO writes drive the devices. On the CPU's
+     *  critical path — the common (RAM) case is fully inline. */
+    void
+    write(uint32_t addr, uint32_t value)
+    {
+        if (addr >= size_words_)
+            outOfRange("write", addr);
+        if (addr - kMmioBase < kMmioWindowWords) {
+            writeMmio(addr, value);
+            return;
+        }
+        ramWrite(addr, value);
+    }
+
+    /**
+     * Unchecked RAM word access for callers that have already proven
+     * `addr` in range and outside the MMIO window (the CPU fast path:
+     * the translate step bounds-checks and the MMIO test is explicit
+     * there). ramWrite keeps the predecode tags coherent like write().
+     */
+    uint32_t ram(uint32_t addr) const { return words_[addr]; }
+
+    void
+    ramWrite(uint32_t addr, uint32_t value)
+    {
+        // Value-aware invalidation: a store that leaves the word's
+        // contents unchanged cannot stale a predecoded entry, so e.g.
+        // reloading the same program image keeps the cache warm.
+        uint32_t old = words_[addr];
+        words_[addr] = value;
+        if (old != value)
+            notifyWrite(addr);
+    }
 
     /** Raw (device-free) access for loaders and tests. */
     uint32_t peek(uint32_t addr) const;
@@ -83,8 +132,14 @@ class PhysMemory
     /** Highest-priority (lowest id) pending device, 0 if none. */
     uint32_t highestPendingDevice() const;
 
-    /** Cycle-counter value surfaced through CYCLES_LO (set by the CPU). */
+    /** Cycle-counter value surfaced through CYCLES_LO (set by hosts
+     *  without a live CPU attached; the CPU registers a source below). */
     void setCycleCounter(uint64_t cycles) { cycles_ = cycles; }
+
+    /** Register a live counter read on demand by CYCLES_LO, so the CPU
+     *  does not have to push the count into the device every cycle.
+     *  Pass nullptr to detach (falls back to setCycleCounter's value). */
+    void setCycleSource(const uint64_t *source) { cycle_source_ = source; }
 
     /**
      * Hook for the MAP_* registers: the exterior mapping unit sits on
@@ -98,13 +153,55 @@ class PhysMemory
         map_hook_ = std::move(hook);
     }
 
+    // --- Write observation ---------------------------------------------
+
+    /**
+     * Predecode-cache coherence: the CPU shares its direct-mapped tag
+     * array so that every store that changes memory contents — CPU
+     * stores, host poke()/loadImage(), any bus write — invalidates a
+     * stale predecoded entry *in place*, with no indirect call on the
+     * store path. `mask` must be (size of tag array - 1), a power of
+     * two minus one; a store to word `addr` clears tags[addr & mask]
+     * when it equals addr. Pass tags = nullptr to detach.
+     */
+    void
+    attachDecodeTags(uint32_t *tags, uint32_t mask, uint32_t invalid)
+    {
+        decode_tags_ = tags;
+        decode_tags_mask_ = mask;
+        decode_tags_invalid_ = invalid;
+    }
+
   private:
+    /** Out-of-line slow paths for the inline read()/write() above. */
+    [[noreturn]] void outOfRange(const char *op, uint32_t addr) const;
+    uint32_t readMmio(uint32_t addr);
+    void writeMmio(uint32_t addr, uint32_t value);
+
+    void
+    notifyWrite(uint32_t addr)
+    {
+        // Drop the predecoded entry covering this word, if any. Only
+        // the tag is cleared — the CPU may be mid-step holding a
+        // pointer into the matching payload.
+        if (decode_tags_ != nullptr) {
+            uint32_t idx = addr & decode_tags_mask_;
+            if (decode_tags_[idx] == addr)
+                decode_tags_[idx] = decode_tags_invalid_;
+        }
+    }
+
+    uint32_t size_words_ = 0;
     std::vector<uint32_t> words_;
     std::string console_;
     uint32_t pending_devices_ = 0; ///< bitmask of requesting devices
     uint64_t cycles_ = 0;
+    const uint64_t *cycle_source_ = nullptr;
     uint32_t map_sva_ = 0;
     std::function<void(bool, uint32_t, uint32_t)> map_hook_;
+    uint32_t *decode_tags_ = nullptr;
+    uint32_t decode_tags_mask_ = 0;
+    uint32_t decode_tags_invalid_ = 0;
 };
 
 } // namespace mips::sim

@@ -255,17 +255,16 @@ profileProgram(const std::string &source, plc::Layout layout)
     result.free_data_cycles = machine.cpu().stats().free_data_cycles;
     result.console = machine.memory().consoleOutput();
 
-    const auto &counts = machine.cpu().execCounts();
     const auto &items = exe.value().final_unit.items;
     uint32_t origin = exe.value().program.origin;
     for (size_t i = 0; i < items.size(); ++i) {
         const assembler::Item &item = items[i];
         if (item.ref_size == 0)
             continue;
-        auto it = counts.find(origin + static_cast<uint32_t>(i));
-        if (it == counts.end())
+        uint64_t n = machine.cpu().execCount(
+            origin + static_cast<uint32_t>(i));
+        if (n == 0)
             continue;
-        uint64_t n = it->second;
         bool is_store = item.inst.mem && item.inst.mem->is_store;
         bool is_byte = item.ref_size == 8;
         RefPattern &refs = result.refs;

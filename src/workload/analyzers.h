@@ -148,9 +148,18 @@ struct RefPattern
 struct ProfileResult
 {
     RefPattern refs;
-    uint64_t cycles = 0;
+    uint64_t cycles = 0;          ///< issued words, incl. exception code
     uint64_t free_data_cycles = 0;
     std::string console;
+
+    /** Fraction of data bandwidth left idle (mirrors
+     *  sim::CpuStats::freeBandwidth over the merged counts). */
+    double
+    freeBandwidth() const
+    {
+        return cycles ? static_cast<double>(free_data_cycles) /
+                        static_cast<double>(cycles) : 0.0;
+    }
 };
 
 /**

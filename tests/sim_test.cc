@@ -187,20 +187,20 @@ TEST(Memory, InterruptController)
 // ------------------------------------------- Pipeline basic execution
 
 /** Run a program on the pipeline machine until halt. */
-Machine
-runPipeline(std::string_view src, uint64_t max_cycles = 100000)
+void
+runPipeline(Machine &m, std::string_view src,
+            uint64_t max_cycles = 100000)
 {
-    Machine m;
     Program p = assembleOrDie(src);
     m.load(p);
     StopReason r = m.cpu().run(max_cycles);
     EXPECT_EQ(r, StopReason::HALT) << m.cpu().errorMessage();
-    return m;
 }
 
 TEST(Pipeline, ArithmeticEndToEnd)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #10, r1\n"
         "add r1, #5, r2\n"
         "sub r2, r1, r3\n"
@@ -213,7 +213,8 @@ TEST(Pipeline, ArithmeticEndToEnd)
 
 TEST(Pipeline, ZeroRegisterHardwired)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #7, r0\n"
         "add r0, #3, r1\n"
         "halt\n");
@@ -223,7 +224,8 @@ TEST(Pipeline, ZeroRegisterHardwired)
 
 TEST(Pipeline, AluResultBypassedToNextInstruction)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #1, r1\n"
         "add r1, #1, r1\n" // sees 1 -> 2 (bypass)
         "add r1, #1, r1\n" // sees 2 -> 3
@@ -235,7 +237,8 @@ TEST(Pipeline, AluResultBypassedToNextInstruction)
 
 TEST(Pipeline, LoadDelaySlotSeesOldValue)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "ldi #7, r1\n"      // long immediate: no delay
         "st r1, @50\n"
         "movi #1, r2\n"
@@ -251,7 +254,8 @@ TEST(Pipeline, LoadDelayThenAluWawOrder)
 {
     // An ALU write in the load's delay slot to the same register must
     // win over the load's later writeback (its WB stage is later).
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "ldi #7, r1\n"
         "st r1, @50\n"
         "ld @50, r2\n"
@@ -264,7 +268,8 @@ TEST(Pipeline, LoadDelayThenAluWawOrder)
 
 TEST(Pipeline, LongImmediateHasNoDelay)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "ldi #1234, r1\n"
         "mov r1, r2\n" // immediately visible
         "halt\n");
@@ -273,7 +278,8 @@ TEST(Pipeline, LongImmediateHasNoDelay)
 
 TEST(Pipeline, TakenBranchExecutesOneDelaySlot)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #0, r1\n"
         "movi #0, r2\n"
         "bra skip\n"
@@ -286,7 +292,8 @@ TEST(Pipeline, TakenBranchExecutesOneDelaySlot)
 
 TEST(Pipeline, UntakenBranchFallsThrough)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #1, r1\n"
         "beq r1, #0, over\n"
         "movi #2, r2\n"
@@ -300,7 +307,8 @@ TEST(Pipeline, BranchComparesStaleLoadInDelay)
 {
     // The branch itself sits in the load delay slot: it compares the
     // *old* register value (this is what the reorganizer must avoid).
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "ldi #1, r1\n"
         "st r1, @60\n"
         "movi #0, r1\n"
@@ -314,7 +322,8 @@ TEST(Pipeline, BranchComparesStaleLoadInDelay)
 
 TEST(Pipeline, IndirectJumpHasTwoDelaySlots)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         ".org 0\n"
         "ldi #6, r5\n"
         "jmp (r5)\n"
@@ -331,7 +340,8 @@ TEST(Pipeline, IndirectJumpHasTwoDelaySlots)
 
 TEST(Pipeline, DirectCallLinksPastDelaySlot)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         ".org 0\n"
         "call sub, r15\n" // addr 0: link = 0 + 1 + 1 = 2
         "nop\n"           // delay slot
@@ -359,7 +369,8 @@ TEST(Pipeline, TransferInTakenShadowIsSimError)
 
 TEST(Pipeline, UntakenBranchInShadowIsAllowed)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #1, r1\n"
         "bra a\n"
         "beq r1, #0, b\n" // in shadow but not taken: fine
@@ -408,7 +419,8 @@ TEST(Pipeline, PaperStoreByteSequence)
 
 TEST(Pipeline, FreeMemoryCycleAccounting)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #1, r1\n"      // free
         "st r1, @50\n"       // data port used
         "ld @50, r2\n"       // data port used
@@ -506,7 +518,8 @@ TEST(Pipeline, OverflowTrapsWhenEnabledAndInhibitsWrite)
 
 TEST(Pipeline, OverflowIgnoredWhenDisabled)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "ld @intmax, r2\n"
         "nop\n"
         "add r2, #1, r2\n"
@@ -648,7 +661,8 @@ TEST(Pipeline, UserModeCannotTouchMmio)
 
 TEST(Pipeline, ConsoleFromSupervisor)
 {
-    Machine m = runPipeline(
+    Machine m;
+    runPipeline(m,
         "movi #'o', r2\n"
         "li #0xff000, r3\n"
         "st r2, (r3)\n"

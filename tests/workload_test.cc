@@ -157,9 +157,7 @@ TEST(Analyzers, FreeMemoryCyclesSubstantial)
 {
     auto result = profileCorpus(plc::Layout::WORD_ALLOCATED);
     ASSERT_TRUE(result.ok());
-    double free_frac =
-        static_cast<double>(result.value().free_data_cycles) /
-        static_cast<double>(result.value().cycles);
+    double free_frac = result.value().freeBandwidth();
     // The paper: "the wasted bandwidth came close to 40%". Our
     // measured fraction runs higher because multiplication and
     // division execute as software step loops (pure ALU traffic) —
