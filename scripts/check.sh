@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, run the full test suite, then run the
+# Tier-1 verification: build, run the full test suite, statically
+# verify the whole workload corpus with mipsverify, then run the
 # simulator throughput benchmark and sanity-check its JSON report.
 #
 # Usage:
 #   scripts/check.sh [build-dir]               full check (default ./build)
 #   scripts/check.sh --bench-only [build-dir]  benchmark + JSON check only
+#   scripts/check.sh sanitize [build-dir]      ASan+UBSan build + ctest
+#                                              (default ./build-sanitize)
 #
 # The --bench-only mode is what the `check_bench_json` CTest target
 # runs: the full mode invokes ctest itself and must not recurse.
@@ -16,6 +19,18 @@
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ "${1:-}" = "sanitize" ]; then
+    shift
+    build_dir=${1:-"$repo_root/build-sanitize"}
+    cmake -S "$repo_root" -B "$build_dir" -DMIPS82_SANITIZE=ON
+    cmake --build "$build_dir" -j "$(nproc)"
+    ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure \
+        -E '^check_bench_json$' # bench timing is meaningless under ASan
+    echo "check.sh: sanitize green"
+    exit 0
+fi
+
 bench_only=0
 if [ "${1:-}" = "--bench-only" ]; then
     bench_only=1
@@ -30,6 +45,11 @@ if [ "$bench_only" -eq 0 ]; then
     cmake --build "$build_dir" -j "$(nproc)"
     ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure \
         -E '^check_bench_json$' # the bench check runs below either way
+
+    # Static verification gate: every reorganized corpus program must
+    # satisfy the software-interlock contract (exit 1 on any error-
+    # severity diagnostic).
+    "$build_dir/src/verify/mipsverify" --corpus
 fi
 
 json=$build_dir/BENCH_throughput.json

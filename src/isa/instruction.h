@@ -39,8 +39,7 @@ struct Instruction
     bool
     isNop() const
     {
-        return !alu && !mem && !branch && !jump && !special &&
-               true;
+        return !alu && !mem && !branch && !jump && !special;
     }
 
     /** True if the word ends a basic block (branch/jump/trap/rfe/halt). */

@@ -1,0 +1,251 @@
+#include "verify/cfg.h"
+
+#include <algorithm>
+
+#include "isa/branch.h"
+#include "support/strings.h"
+
+namespace mips::verify {
+
+using assembler::Item;
+using assembler::Unit;
+using isa::Cond;
+using isa::JumpKind;
+
+namespace {
+
+/** Terminator classification used while wiring edges. */
+struct Transfer
+{
+    bool is_transfer = false;
+    int delay = 0;           ///< delay slots exposed (0: immediate)
+    bool conditional = false;///< fall-through also possible
+    bool target_known = false;
+    size_t target = kNoItem; ///< item index when target_known
+    bool to_unknown = false; ///< callee / indirect / trap / RFE
+    ShadowKind shadow = ShadowKind::NONE;
+};
+
+/** Resolve a label or numeric control-transfer target to an item
+ *  index. Returns kNoItem when it cannot be resolved statically
+ *  (undefined label was already reported, or address outside the
+ *  unit). `next` is the address of the word after the transfer. */
+size_t
+resolveIndex(const Cfg &cfg, int64_t index)
+{
+    if (index < 0 || index >= static_cast<int64_t>(cfg.size()))
+        return kNoItem;
+    return static_cast<size_t>(index);
+}
+
+/** Classify item `i`'s control behaviour. */
+Transfer
+classify(const Cfg &cfg, size_t i, DiagnosticEngine *diags)
+{
+    const Item &item = cfg.unit->items[i];
+    Transfer t;
+    if (item.is_data)
+        return t;
+
+    auto lookupLabel = [&](const std::string &label) -> size_t {
+        auto it = cfg.labels.find(label);
+        if (it != cfg.labels.end())
+            return it->second;
+        if (diags) {
+            diags->report(Code::VF002, Severity::ERROR, i,
+                          support::strprintf(
+                              "undefined label '%s'", label.c_str()));
+        }
+        return kNoItem;
+    };
+
+    if (item.inst.branch) {
+        const isa::BranchPiece &b = *item.inst.branch;
+        if (b.cond == Cond::NEVER)
+            return t; // never taken: plain fall-through word
+        t.is_transfer = true;
+        t.delay = isa::kBranchDelay;
+        t.conditional = b.cond != Cond::ALWAYS;
+        t.shadow = ShadowKind::BRANCH;
+        size_t target = item.target.empty()
+            ? resolveIndex(cfg, static_cast<int64_t>(i) + 1 + b.offset)
+            : lookupLabel(item.target);
+        t.target_known = target != kNoItem;
+        t.target = target;
+        if (!t.target_known)
+            t.to_unknown = true;
+        return t;
+    }
+    if (item.inst.jump) {
+        const isa::JumpPiece &j = *item.inst.jump;
+        t.is_transfer = true;
+        t.delay = isa::jumpDelay(j.kind);
+        t.shadow = isa::jumpIsIndirect(j.kind) ? ShadowKind::INDIRECT
+                                               : ShadowKind::BRANCH;
+        if (isa::jumpIsCall(j.kind) || isa::jumpIsIndirect(j.kind)) {
+            // Callee or register target: not statically followable
+            // (calls also because the callee may go anywhere before
+            // returning past the delay slots).
+            if (!item.target.empty() && j.kind == JumpKind::CALL_DIRECT)
+                lookupLabel(item.target); // still check it resolves
+            t.to_unknown = true;
+            return t;
+        }
+        size_t target = item.target.empty()
+            ? resolveIndex(cfg, static_cast<int64_t>(j.target_addr) -
+                                    cfg.unit->origin)
+            : lookupLabel(item.target);
+        t.target_known = target != kNoItem;
+        t.target = target;
+        if (!t.target_known)
+            t.to_unknown = true;
+        return t;
+    }
+    if (item.inst.special) {
+        switch (item.inst.special->op) {
+          case isa::SpecialOp::TRAP:
+          case isa::SpecialOp::RFE:
+            // Redirect with no delay slots into the handler / the
+            // saved stream: the next executed word is unknown.
+            t.is_transfer = true;
+            t.delay = 0;
+            t.to_unknown = true;
+            return t;
+          case isa::SpecialOp::HALT:
+            t.is_transfer = true;
+            t.delay = 0;
+            return t; // no successors at all
+          default:
+            break;
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+Cfg
+buildCfg(const Unit &unit, DiagnosticEngine *diags)
+{
+    Cfg cfg;
+    cfg.unit = &unit;
+    size_t n = unit.items.size();
+    cfg.nodes.resize(n);
+
+    for (size_t i = 0; i < n; ++i)
+        for (const std::string &label : unit.items[i].labels)
+            cfg.labels.emplace(label, i);
+    for (const std::string &label : unit.trailing_labels)
+        cfg.labels.emplace(label, kNoItem); // defined, but past the end
+
+    // Structural validation and label-operand resolution for
+    // non-transfer label uses (ld @sym / st @sym / li @sym).
+    for (size_t i = 0; i < n; ++i) {
+        const Item &item = unit.items[i];
+        if (item.is_data)
+            continue;
+        std::string err = isa::validate(item.inst);
+        if (!err.empty() && diags) {
+            diags->report(Code::VF001, Severity::ERROR, i,
+                          "invalid instruction word: " + err);
+        }
+        if (!item.target.empty() && item.inst.mem && diags &&
+            !cfg.labels.count(item.target)) {
+            diags->report(Code::VF002, Severity::ERROR, i,
+                          support::strprintf("undefined label '%s'",
+                                             item.target.c_str()));
+        }
+    }
+
+    // Default sequential edges, then transfer overrides hung off each
+    // transfer's last delay slot.
+    std::vector<bool> overridden(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        CfgNode &node = cfg.nodes[i];
+        const Item &item = unit.items[i];
+        if (item.is_data) {
+            // Falling into data executes an unpredictable decode.
+            node.unknown_succ = true;
+            continue;
+        }
+        Transfer t = classify(cfg, i, diags);
+        if (t.is_transfer && t.delay == 0) {
+            // TRAP / RFE / HALT: redirect immediately.
+            node.unknown_succ = t.to_unknown;
+            continue;
+        }
+        if (i + 1 < n)
+            node.succs.push_back(i + 1);
+        else
+            node.unknown_succ = true; // falls off the unit
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const Item &item = unit.items[i];
+        if (item.is_data)
+            continue;
+        Transfer t = classify(cfg, i, nullptr);
+        if (!t.is_transfer || t.delay == 0)
+            continue;
+
+        // Mark the delay shadow.
+        for (int d = 1; d <= t.delay && i + d < n; ++d) {
+            CfgNode &slot = cfg.nodes[i + d];
+            if (slot.shadow == ShadowKind::NONE) {
+                slot.shadow = t.shadow;
+                slot.shadow_owner = i;
+            }
+        }
+
+        // The transfer resolves after its last slot.
+        size_t last_slot = i + static_cast<size_t>(t.delay);
+        if (last_slot >= n)
+            continue; // slots fall off the unit; already unknown_succ
+        CfgNode &slot = cfg.nodes[last_slot];
+        if (!overridden[last_slot]) {
+            overridden[last_slot] = true;
+            if (!t.conditional) {
+                slot.succs.clear();
+                slot.unknown_succ = false;
+            }
+        }
+        if (t.to_unknown)
+            slot.unknown_succ = true;
+        else if (t.target_known)
+            slot.succs.push_back(t.target);
+
+        // A call returns past its delay slots: that resume point can
+        // be entered from the callee's indirect jump.
+        if (item.inst.jump && isa::jumpIsCall(item.inst.jump->kind) &&
+            last_slot + 1 < n) {
+            cfg.nodes[last_slot + 1].unknown_pred = true;
+        }
+    }
+
+    // Unknown-predecessor marking: entry, labeled items (their address
+    // can be taken or reached indirectly), and trap resume points.
+    if (n > 0)
+        cfg.nodes[0].unknown_pred = true;
+    for (size_t i = 0; i < n; ++i) {
+        if (!unit.items[i].labels.empty())
+            cfg.nodes[i].unknown_pred = true;
+        const Item &item = unit.items[i];
+        if (!item.is_data && item.inst.special &&
+            item.inst.special->op == isa::SpecialOp::TRAP &&
+            i + 1 < n) {
+            cfg.nodes[i + 1].unknown_pred = true; // handler resumes here
+        }
+    }
+
+    // Dedup successor lists (overlapping overrides on erroneous code
+    // can double up) and invert into predecessor lists.
+    for (size_t i = 0; i < n; ++i) {
+        auto &s = cfg.nodes[i].succs;
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+        for (size_t succ : s)
+            cfg.nodes[succ].preds.push_back(i);
+    }
+    return cfg;
+}
+
+} // namespace mips::verify

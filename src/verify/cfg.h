@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Delay-slot-aware control-flow graph over an assembled Unit.
+ *
+ * The pipeline transfers control only *after* a taken branch or jump
+ * has executed its delay slots (one for branches and direct jumps, two
+ * for indirect jumps — Section 4.2.1 / 3.3 of the paper). The graph
+ * therefore hangs a transfer's outgoing edges off its **last delay
+ * slot**, not off the transfer word itself: node i's successors are
+ * exactly the words that can execute on the cycle after word i. That
+ * is the edge relation every hazard check needs, because the load
+ * delay and the taken-transfer shadow are both expressed in *cycles*,
+ * not in static program order.
+ *
+ * Edges the analysis cannot follow (indirect jumps, calls, traps, RFE,
+ * falling off the unit) are recorded as `unknown_succ` rather than
+ * dropped, so downstream dataflow stays conservative.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asm/unit.h"
+#include "verify/diagnostics.h"
+
+namespace mips::verify {
+
+/** What kind of delay shadow covers an item, if any. */
+enum class ShadowKind : uint8_t
+{
+    NONE = 0,
+    BRANCH,   ///< slot of a branch or direct jump/call (1 slot)
+    INDIRECT, ///< shadow of an indirect jump/call (2 slots)
+};
+
+/** Per-item CFG node. */
+struct CfgNode
+{
+    /** Items that can execute on the next cycle. */
+    std::vector<size_t> succs;
+    /** Items that can execute on the previous cycle. */
+    std::vector<size_t> preds;
+    /** The next executed word is statically unknown (call/indirect
+     *  target, trap handler, or execution fell off the unit). */
+    bool unknown_succ = false;
+    /** Control can arrive here from statically unknown code (the item
+     *  is labeled, follows a call's delay slots, or follows a trap). */
+    bool unknown_pred = false;
+    /** Delay shadow this item sits in (for the no-transfer-in-slot
+     *  rule); owner is the transfer word that created the shadow. */
+    ShadowKind shadow = ShadowKind::NONE;
+    size_t shadow_owner = kNoItem;
+};
+
+/** The graph plus label resolution for one unit. */
+struct Cfg
+{
+    const assembler::Unit *unit = nullptr;
+    std::vector<CfgNode> nodes;
+    std::map<std::string, size_t> labels; ///< label -> item index
+
+    size_t size() const { return nodes.size(); }
+};
+
+/**
+ * Build the execution CFG. Structural problems found along the way —
+ * invalid instruction words (VF001) and undefined label operands
+ * (VF002) — are reported to `diags` (which may be null to skip them);
+ * the offending edges become `unknown_succ`.
+ */
+Cfg buildCfg(const assembler::Unit &unit, DiagnosticEngine *diags);
+
+} // namespace mips::verify

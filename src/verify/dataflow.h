@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small reusable dataflow framework over the execution CFG.
+ *
+ * Problems are expressed per item as gen/kill masks over the 16 GPRs
+ * (bit r set = fact holds for register r) plus a direction and a meet
+ * operator; solve() runs a worklist to the fixpoint. Edges the CFG
+ * could not follow (`unknown_succ` / `unknown_pred`) contribute the
+ * problem's `boundary` value, which keeps every instantiation
+ * conservative by construction.
+ *
+ * Two standard instantiations are provided:
+ *
+ *  - liveness() — backward, meet = union, boundary = all registers
+ *    (anything may be read by unknown code);
+ *  - definiteAssignment() — forward, meet = intersection (a register
+ *    is only *definitely* written if it is written on every path),
+ *    boundary = all registers (unknown callers are assumed to have
+ *    set up anything).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/cfg.h"
+
+namespace mips::verify {
+
+/** Which way facts propagate. */
+enum class Direction : uint8_t
+{
+    FORWARD,  ///< facts flow from predecessors
+    BACKWARD, ///< facts flow from successors
+};
+
+/** How facts from multiple edges combine. */
+enum class Meet : uint8_t
+{
+    UNION,     ///< may-analysis
+    INTERSECT, ///< must-analysis
+};
+
+/** One dataflow problem over 16-bit register masks. */
+struct DataflowProblem
+{
+    Direction direction = Direction::BACKWARD;
+    Meet meet = Meet::UNION;
+    /** Contribution of edges from/to statically unknown code. */
+    uint16_t boundary = 0;
+    /** Value at the unit entry (forward) — item 0's external edge. */
+    uint16_t entry = 0;
+    /** Per-item transfer: out = (in & ~kill) | gen. */
+    std::vector<uint16_t> gen;
+    std::vector<uint16_t> kill;
+};
+
+/** Fixpoint solution: one (in, out) mask pair per item. For backward
+ *  problems `in` is the fact *before* the item in execution order and
+ *  `out` the fact after it, same as forward. */
+struct DataflowSolution
+{
+    std::vector<uint16_t> in;
+    std::vector<uint16_t> out;
+};
+
+/** Run the worklist to the fixpoint. gen/kill must match cfg.size(). */
+DataflowSolution solve(const Cfg &cfg, const DataflowProblem &problem);
+
+/** GPR liveness: in[i] = registers whose value may still be read
+ *  at item i; out[i] = after item i executes. */
+DataflowSolution liveness(const Cfg &cfg);
+
+/** Definite assignment: in[i] = registers written on *every* path
+ *  reaching item i. `assumed` seeds the unit entry (r0 plus any
+ *  ABI registers the caller guarantees). */
+DataflowSolution definiteAssignment(const Cfg &cfg, uint16_t assumed);
+
+} // namespace mips::verify

@@ -1,0 +1,213 @@
+#include "verify/diagnostics.h"
+
+#include <algorithm>
+
+#include "isa/disasm.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace mips::verify {
+
+const char *
+codeName(Code code)
+{
+    switch (code) {
+      case Code::HZ001: return "HZ001";
+      case Code::HZ002: return "HZ002";
+      case Code::HZ003: return "HZ003";
+      case Code::HZ004: return "HZ004";
+      case Code::HZ005: return "HZ005";
+      case Code::HZ006: return "HZ006";
+      case Code::LT001: return "LT001";
+      case Code::LT002: return "LT002";
+      case Code::LT003: return "LT003";
+      case Code::VF001: return "VF001";
+      case Code::VF002: return "VF002";
+    }
+    support::panic("codeName: bad code %d", static_cast<int>(code));
+}
+
+const char *
+codeDescription(Code code)
+{
+    switch (code) {
+      case Code::HZ001:
+        return "an instruction reads a register in the delay slot of "
+               "the load that writes it (the pipeline has no interlock: "
+               "it reads the stale value)";
+      case Code::HZ002:
+        return "a control transfer sits in the delay slot of a branch "
+               "or direct jump (architecturally undefined when the "
+               "outer transfer is taken)";
+      case Code::HZ003:
+        return "a control transfer sits in the two-slot delay shadow "
+               "of an indirect jump (architecturally undefined)";
+      case Code::HZ004:
+        return "the ALU and memory pieces packed into one word depend "
+               "on each other; packed pieces execute simultaneously "
+               "and must be independent";
+      case Code::HZ005:
+        return "a .noreorder region was altered by the reorganizer "
+               "(pseudo-op contract: such sequences pass through "
+               "verbatim)";
+      case Code::HZ006:
+        return "a load's delay slot falls into statically unknown code "
+               "(end of unit, call target, or indirect-jump target); "
+               "the consumer cannot be checked";
+      case Code::LT001:
+        return "a register is read on a path where no instruction has "
+               "written it";
+      case Code::LT002:
+        return "a computed result is overwritten or dropped on every "
+               "path before any instruction reads it";
+      case Code::LT003:
+        return "instructions that no execution path reaches";
+      case Code::VF001:
+        return "the instruction word violates the encoding rules";
+      case Code::VF002:
+        return "a label operand names no label defined in the unit";
+    }
+    support::panic("codeDescription: bad code %d",
+                   static_cast<int>(code));
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::NOTE: return "note";
+      case Severity::WARNING: return "warning";
+      case Severity::ERROR: return "error";
+    }
+    support::panic("severityName: bad severity %d",
+                   static_cast<int>(severity));
+}
+
+void
+DiagnosticEngine::report(Code code, Severity severity, size_t item_index,
+                         std::string message)
+{
+    Diagnostic d;
+    d.code = code;
+    d.severity = severity;
+    d.item_index = item_index;
+    if (unit_ && item_index != kNoItem &&
+        item_index < unit_->items.size()) {
+        d.pc = unit_->origin + static_cast<uint32_t>(item_index);
+        d.source_line = unit_->items[item_index].source_line;
+    }
+    d.message = std::move(message);
+    ++counts_[static_cast<int>(severity)];
+    diags_.push_back(std::move(d));
+}
+
+void
+DiagnosticEngine::sort()
+{
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.item_index != b.item_index)
+                             return a.item_index < b.item_index;
+                         return static_cast<int>(a.code) <
+                                static_cast<int>(b.code);
+                     });
+}
+
+std::string
+renderText(const std::vector<Diagnostic> &diags,
+           const assembler::Unit *unit, const std::string &name)
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        std::string loc = name;
+        if (d.item_index != kNoItem) {
+            loc += support::strprintf(":%u", d.pc);
+            if (d.source_line > 0)
+                loc += support::strprintf(" (line %d)", d.source_line);
+        }
+        out += support::strprintf("%s: %s: %s: %s", loc.c_str(),
+                                  severityName(d.severity),
+                                  codeName(d.code), d.message.c_str());
+        if (unit && d.item_index != kNoItem &&
+            d.item_index < unit->items.size()) {
+            const assembler::Item &item = unit->items[d.item_index];
+            if (item.is_data) {
+                out += support::strprintf("  [.word %u]",
+                                          item.data_value);
+            } else {
+                out += "  [" + isa::disasm(item.inst, d.pc) + "]";
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += support::strprintf("\\u%04x", c);
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const std::vector<Diagnostic> &diags, const std::string &name)
+{
+    size_t errors = 0, warnings = 0, notes = 0;
+    for (const Diagnostic &d : diags) {
+        switch (d.severity) {
+          case Severity::ERROR: ++errors; break;
+          case Severity::WARNING: ++warnings; break;
+          case Severity::NOTE: ++notes; break;
+        }
+    }
+    std::string out = "{\n";
+    out += support::strprintf("  \"unit\": \"%s\",\n",
+                              jsonEscape(name).c_str());
+    out += support::strprintf(
+        "  \"errors\": %zu,\n  \"warnings\": %zu,\n  \"notes\": %zu,\n",
+        errors, warnings, notes);
+    out += "  \"diagnostics\": [";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        out += (i ? ",\n    " : "\n    ");
+        out += support::strprintf(
+            "{\"code\": \"%s\", \"severity\": \"%s\", ",
+            codeName(d.code), severityName(d.severity));
+        if (d.item_index == kNoItem) {
+            out += "\"pc\": null, \"item\": null, ";
+        } else {
+            out += support::strprintf("\"pc\": %u, \"item\": %zu, ",
+                                      d.pc, d.item_index);
+        }
+        out += support::strprintf(
+            "\"source_line\": %d, \"message\": \"%s\"}", d.source_line,
+            jsonEscape(d.message).c_str());
+    }
+    out += diags.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace mips::verify

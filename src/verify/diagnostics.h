@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Structured diagnostics for the static verifier.
+ *
+ * Every finding carries a stable code (HZ* for hazard-contract
+ * violations, LT* for lint findings, VF* for structural problems), a
+ * severity, and a location (item index / word address / source line),
+ * so that tools can filter and tests can assert on exact findings.
+ * Rendering is split from collection: the engine accumulates plain
+ * data, and renderText()/renderJson() produce the human and
+ * machine-readable forms.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/unit.h"
+
+namespace mips::verify {
+
+/** Diagnostic severity, ordered from least to most serious. */
+enum class Severity : uint8_t
+{
+    NOTE = 0,    ///< well-defined but worth a look (e.g. .noreorder
+                 ///< code that deliberately reads a stale value)
+    WARNING = 1, ///< suspicious or unprovable; execution is defined
+    ERROR = 2,   ///< violates the software-interlock contract
+};
+
+/** Stable diagnostic codes. Codes are append-only: never renumber. */
+enum class Code : uint8_t
+{
+    HZ001 = 0, ///< load-delay violation: stale register read
+    HZ002,     ///< control transfer in a branch/direct-jump delay slot
+    HZ003,     ///< control transfer in an indirect-jump delay shadow
+    HZ004,     ///< dependent pieces packed into one word
+    HZ005,     ///< .noreorder region altered by the reorganizer
+    HZ006,     ///< load delay escapes into statically unknown code
+    LT001,     ///< read of a possibly uninitialized register
+    LT002,     ///< dead store: result never readable
+    LT003,     ///< unreachable code
+    VF001,     ///< invalid instruction word
+    VF002,     ///< undefined label operand
+};
+
+/** Number of distinct diagnostic codes. */
+constexpr int kNumCodes = static_cast<int>(Code::VF002) + 1;
+
+/** Stable textual name of a code, e.g. "HZ001". */
+const char *codeName(Code code);
+
+/** One-line contract description of a code (for --explain output). */
+const char *codeDescription(Code code);
+
+/** Severity name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** Sentinel for diagnostics not attached to a particular item. */
+constexpr size_t kNoItem = static_cast<size_t>(-1);
+
+/** One finding. */
+struct Diagnostic
+{
+    Code code = Code::HZ001;
+    Severity severity = Severity::ERROR;
+    /** Index into Unit::items, or kNoItem for unit-wide findings. */
+    size_t item_index = kNoItem;
+    /** Word address (origin + index); 0 when item_index == kNoItem. */
+    uint32_t pc = 0;
+    /** 1-based source line of the item, 0 when unknown/synthesized. */
+    int source_line = 0;
+    std::string message;
+};
+
+/**
+ * Collects diagnostics for one verification run. Reporting helpers
+ * fill in the location fields from the unit being verified.
+ */
+class DiagnosticEngine
+{
+  public:
+    explicit DiagnosticEngine(const assembler::Unit *unit = nullptr)
+        : unit_(unit)
+    {}
+
+    /** Report a finding at `item_index` (or kNoItem). */
+    void report(Code code, Severity severity, size_t item_index,
+                std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    size_t errorCount() const { return counts_[2]; }
+    size_t warningCount() const { return counts_[1]; }
+    size_t noteCount() const { return counts_[0]; }
+
+    /** Sort by (item index, code) for stable golden output. */
+    void sort();
+
+  private:
+    const assembler::Unit *unit_;
+    std::vector<Diagnostic> diags_;
+    size_t counts_[3] = {0, 0, 0};
+};
+
+/**
+ * Human rendering, one line per finding:
+ *   <name>:<pc>: error: HZ001: <message>   [<listing of the word>]
+ * `unit` may be null (no listing column then).
+ */
+std::string renderText(const std::vector<Diagnostic> &diags,
+                       const assembler::Unit *unit,
+                       const std::string &name);
+
+/**
+ * Machine-readable rendering: one JSON object with the unit name,
+ * per-severity totals, and a `diagnostics` array carrying code,
+ * severity, pc, item index, source line, and message.
+ */
+std::string renderJson(const std::vector<Diagnostic> &diags,
+                       const std::string &name);
+
+} // namespace mips::verify

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * mipsverify — static hazard verifier and lint driver.
+ *
+ *   mipsverify file.s            verify an assembly unit as-is
+ *   mipsverify --reorg file.s    reorganize legal code, then verify the
+ *                                output (including .noreorder integrity)
+ *   mipsverify --corpus          compile every embedded workload program
+ *                                through the full tool chain and verify
+ *                                each reorganized unit
+ *
+ * Options: --json (machine-readable report), --no-lint (hazard checks
+ * only), --quiet (status only, no per-finding output).
+ *
+ * Exit status: 0 = no error-severity findings, 1 = at least one error,
+ * 2 = usage or input failure.
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.h"
+#include "plc/driver.h"
+#include "reorg/reorganizer.h"
+#include "support/logging.h"
+#include "verify/verify.h"
+#include "workload/corpus.h"
+
+namespace {
+
+struct CliOptions
+{
+    bool reorg = false;
+    bool corpus = false;
+    bool json = false;
+    bool quiet = false;
+    mips::verify::VerifyOptions verify;
+    std::string file;
+};
+
+void
+usage(FILE *to)
+{
+    std::fprintf(to,
+                 "usage: mipsverify [--reorg] [--json] [--no-lint] "
+                 "[--quiet] file.s\n"
+                 "       mipsverify --corpus [--json] [--no-lint] "
+                 "[--quiet]\n");
+}
+
+/** Print (unless quiet) and report whether the unit verified clean. */
+bool
+emit(const CliOptions &cli, const mips::verify::VerifyReport &report,
+     const mips::assembler::Unit &unit, const std::string &name)
+{
+    if (cli.json) {
+        std::printf("%s\n", mips::verify::reportJson(report, name).c_str());
+    } else if (!cli.quiet) {
+        std::string text = mips::verify::reportText(report, unit, name);
+        if (!text.empty())
+            std::fputs(text.c_str(), stdout);
+        std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+                    name.c_str(), report.errors, report.warnings,
+                    report.notes);
+    }
+    return report.clean();
+}
+
+int
+runCorpus(const CliOptions &cli)
+{
+    std::vector<mips::workload::CorpusProgram> programs =
+        mips::workload::corpus();
+    programs.push_back(mips::workload::fibonacciProgram());
+    programs.push_back(mips::workload::puzzle0Program());
+    programs.push_back(mips::workload::puzzle1Program());
+
+    size_t failed = 0;
+    for (const auto &program : programs) {
+        auto built = mips::plc::buildExecutable(program.source);
+        if (!built.ok()) {
+            std::fprintf(stderr, "mipsverify: %s: compile failed: %s\n",
+                         program.name, built.error().message.c_str());
+            ++failed;
+            continue;
+        }
+        const mips::plc::Executable &exe = built.value();
+        auto report = mips::verify::verifyReorganization(
+            exe.legal_unit, exe.final_unit, cli.verify);
+        if (!emit(cli, report, exe.final_unit, program.name))
+            ++failed;
+    }
+    if (!cli.quiet) {
+        std::printf("mipsverify: %zu/%zu corpus program(s) verified "
+                    "clean\n",
+                    programs.size() - failed, programs.size());
+    }
+    return failed == 0 ? 0 : 1;
+}
+
+int
+runFile(const CliOptions &cli)
+{
+    std::string source;
+    if (cli.file == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        source = buf.str();
+    } else {
+        std::ifstream in(cli.file);
+        if (!in) {
+            std::fprintf(stderr, "mipsverify: cannot open %s\n",
+                         cli.file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        source = buf.str();
+    }
+
+    auto parsed = mips::assembler::parse(source);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "mipsverify: %s: %s\n", cli.file.c_str(),
+                     parsed.error().message.c_str());
+        return 2;
+    }
+    mips::assembler::Unit unit = parsed.take();
+
+    mips::verify::VerifyReport report;
+    const mips::assembler::Unit *report_unit = &unit;
+    mips::assembler::Unit reorganized;
+    if (cli.reorg) {
+        reorganized = mips::reorg::reorganize(unit).unit;
+        report = mips::verify::verifyReorganization(unit, reorganized,
+                                                    cli.verify);
+        report_unit = &reorganized;
+    } else {
+        report = mips::verify::verifyUnit(unit, cli.verify);
+    }
+    return emit(cli, report, *report_unit, cli.file) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--reorg") {
+            cli.reorg = true;
+        } else if (arg == "--corpus") {
+            cli.corpus = true;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--no-lint") {
+            cli.verify.lint = false;
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::fprintf(stderr, "mipsverify: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else if (cli.file.empty()) {
+            cli.file = arg;
+        } else {
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (cli.corpus) {
+        if (!cli.file.empty()) {
+            usage(stderr);
+            return 2;
+        }
+        return runCorpus(cli);
+    }
+    if (cli.file.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    return runFile(cli);
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal pass entry points shared between verify.cc and the pass
+ * implementation files (hazards.cc, lint.cc). Not installed API —
+ * use verify.h.
+ */
+#pragma once
+
+#include "verify/cfg.h"
+#include "verify/dataflow.h"
+#include "verify/diagnostics.h"
+#include "verify/verify.h"
+
+namespace mips::verify {
+
+/** HZ001/HZ002/HZ003/HZ004/HZ006: the hazard contract over the CFG. */
+void checkHazards(const Cfg &cfg, DiagnosticEngine *diags);
+
+/** LT001/LT002/LT003: dataflow lints over the CFG. */
+void checkLints(const Cfg &cfg, const VerifyOptions &options,
+                DiagnosticEngine *diags);
+
+/** HZ005: `.noreorder` regions of `input` must appear verbatim and in
+ *  order in `output`. */
+void checkNoreorderIntegrity(const assembler::Unit &input,
+                             const assembler::Unit &output,
+                             DiagnosticEngine *diags);
+
+} // namespace mips::verify

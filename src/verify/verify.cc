@@ -1,0 +1,76 @@
+#include "verify/verify.h"
+
+#include "verify/passes.h"
+
+namespace mips::verify {
+
+namespace {
+
+VerifyReport
+finish(DiagnosticEngine &engine)
+{
+    engine.sort();
+    VerifyReport report;
+    report.errors = engine.errorCount();
+    report.warnings = engine.warningCount();
+    report.notes = engine.noteCount();
+    report.diagnostics = engine.diagnostics();
+    return report;
+}
+
+void
+runPasses(const assembler::Unit &unit, const VerifyOptions &options,
+          DiagnosticEngine &engine)
+{
+    Cfg cfg = buildCfg(unit, &engine);
+    checkHazards(cfg, &engine);
+    if (options.lint)
+        checkLints(cfg, options, &engine);
+}
+
+} // namespace
+
+size_t
+VerifyReport::countOf(Code code) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diagnostics) {
+        if (d.code == code)
+            ++n;
+    }
+    return n;
+}
+
+VerifyReport
+verifyUnit(const assembler::Unit &unit, const VerifyOptions &options)
+{
+    DiagnosticEngine engine(&unit);
+    runPasses(unit, options, engine);
+    return finish(engine);
+}
+
+VerifyReport
+verifyReorganization(const assembler::Unit &input,
+                     const assembler::Unit &output,
+                     const VerifyOptions &options)
+{
+    DiagnosticEngine engine(&output);
+    runPasses(output, options, engine);
+    checkNoreorderIntegrity(input, output, &engine);
+    return finish(engine);
+}
+
+std::string
+reportText(const VerifyReport &report, const assembler::Unit &unit,
+           const std::string &name)
+{
+    return renderText(report.diagnostics, &unit, name);
+}
+
+std::string
+reportJson(const VerifyReport &report, const std::string &name)
+{
+    return renderJson(report.diagnostics, name);
+}
+
+} // namespace mips::verify

@@ -12,6 +12,7 @@
 #include "plc/driver.h"
 #include "sim/machine.h"
 #include "support/rng.h"
+#include "verify/verify.h"
 
 namespace mips {
 namespace {
@@ -188,6 +189,15 @@ runVariant(const std::string &source, plc::Layout layout,
                           << "\n" << source;
     if (!exe.ok())
         return "<compile error>";
+
+    // Static oracle: every pipeline-bound image must pass the verifier
+    // before it runs.
+    verify::VerifyReport vr = verify::verifyReorganization(
+        exe.value().legal_unit, exe.value().final_unit);
+    EXPECT_TRUE(vr.clean())
+        << tag << ": static verification failed:\n"
+        << verify::reportText(vr, exe.value().final_unit, tag);
+
     sim::Machine machine;
     machine.load(exe.value().program);
     EXPECT_EQ(machine.cpu().run(100'000'000), sim::StopReason::HALT)
@@ -245,8 +255,9 @@ TEST(Fuzz, EncodedImagesRoundTripThroughDecoder)
     const assembler::Program &prog = exe.value().program;
     for (size_t i = 0; i < prog.image.size(); ++i) {
         auto decoded = isa::decode(prog.image[i]);
-        if (decoded.ok())
+        if (decoded.ok()) {
             EXPECT_EQ(isa::encode(decoded.value()), prog.image[i]);
+        }
     }
 }
 

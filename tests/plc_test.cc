@@ -454,9 +454,8 @@ TEST(Execution, ReorganizerImprovesCompiledCode)
 TEST(Execution, CompileErrorsSurface)
 {
     EXPECT_FALSE(compile("program p; begin x := 1; end.").ok());
-    EXPECT_FALSE(compile("program p; begin writeint(90000000); end.")
-                     .ok() &&
-                 false);
+    EXPECT_FALSE(
+        compile("program p; begin writeint(90000000); end.").ok());
     // Over-21-bit literals fail at code generation.
     auto r = compile(
         "program p; var a: integer; begin a := 10000000; end.");

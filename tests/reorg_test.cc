@@ -14,6 +14,7 @@
 #include "reorg/reorganizer.h"
 #include "sim/machine.h"
 #include "support/rng.h"
+#include "verify/verify.h"
 
 namespace mips::reorg {
 namespace {
@@ -465,6 +466,15 @@ expectEquivalent(const Unit &legal, const ReorgOptions &opts,
         << tag << ": functional run failed: " << f.cpu->errorMessage();
 
     ReorgResult r = reorganize(legal, opts);
+
+    // Static oracle: reorganized output must satisfy the software
+    // interlock contract before we even run it.
+    verify::VerifyReport vr = verify::verifyReorganization(legal, r.unit);
+    EXPECT_TRUE(vr.clean())
+        << tag << ": static verification failed:\n"
+        << verify::reportText(vr, r.unit, "reorganized")
+        << listing(r.unit);
+
     Program p = assembler::link(r.unit).take();
     sim::Machine m;
     m.load(p);

@@ -49,8 +49,9 @@ TEST(Corpus, AllProgramsRunIdenticallyUnderBothLayouts)
         std::string byte = runOn(program, plc::Layout::BYTE_ALLOCATED);
         EXPECT_EQ(word, byte) << program.name;
         EXPECT_FALSE(word.empty()) << program.name;
-        if (program.expected_output[0] != '\0')
+        if (program.expected_output[0] != '\0') {
             EXPECT_EQ(word, program.expected_output) << program.name;
+        }
     }
 }
 
