@@ -8,6 +8,11 @@
 #   scripts/check.sh --bench-only [build-dir]  benchmark + JSON check only
 #   scripts/check.sh sanitize [build-dir]      ASan+UBSan build + ctest
 #                                              (default ./build-sanitize)
+#   scripts/check.sh tv [build-dir]            translation-validation gate
+#                                              only (corpus must prove
+#                                              equivalent under the full
+#                                              reorganizer and under each
+#                                              single-stage toggle)
 #
 # The --bench-only mode is what the `check_bench_json` CTest target
 # runs: the full mode invokes ctest itself and must not recurse.
@@ -19,6 +24,33 @@
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+# Translation-validation gate: every corpus program must *prove*
+# equivalent (--strict turns any TV090 "not proven" note into a
+# failure), with every reorganizer stage enabled and with each stage
+# disabled one at a time.
+run_tv_gate() {
+    local build_dir=$1
+    local config
+    for config in "" "--no-reorder" "--no-pack" "--no-fill-delay"; do
+        # shellcheck disable=SC2086  # word-splitting is intended
+        "$build_dir/src/verify/mipsverify" --tv --strict --quiet \
+            $config --corpus
+        echo "check.sh: tv gate clean (${config:-full reorganizer})"
+    done
+}
+
+if [ "${1:-}" = "tv" ]; then
+    shift
+    build_dir=${1:-"$repo_root/build"}
+    if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+        cmake -S "$repo_root" -B "$build_dir"
+    fi
+    cmake --build "$build_dir" -j "$(nproc)" --target mipsverify
+    run_tv_gate "$build_dir"
+    echo "check.sh: tv green"
+    exit 0
+fi
 
 if [ "${1:-}" = "sanitize" ]; then
     shift
@@ -50,6 +82,10 @@ if [ "$bench_only" -eq 0 ]; then
     # satisfy the software-interlock contract (exit 1 on any error-
     # severity diagnostic).
     "$build_dir/src/verify/mipsverify" --corpus
+
+    # Translation-validation gate: the corpus must also *prove*
+    # equivalent, under the full reorganizer and each stage toggle.
+    run_tv_gate "$build_dir"
 fi
 
 json=$build_dir/BENCH_throughput.json

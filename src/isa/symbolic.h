@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Per-opcode *symbolic* transfer functions, living next to the
+ * concrete ones in alu.h / mem.h so the two cannot drift apart.
+ *
+ * evalAluSymbolic() mirrors evalAlu() case for case, but instead of
+ * computing uint32_t values it asks a caller-supplied expression
+ * *builder* to construct terms. Two builders exist:
+ *
+ *  - the translation validator's hash-consing arena
+ *    (src/verify/symexec.h), which turns these transfer functions
+ *    into a symbolic evaluator, and
+ *  - ConcreteBuilder below, whose Expr is plain uint32_t, which turns
+ *    them back into the concrete semantics so tests can assert
+ *    evalAluSymbolic(ConcreteBuilder) == evalAlu for every opcode and
+ *    input — one verified definition shared by the simulators, the
+ *    dependence DAG, the hazard checks, and the validator.
+ *
+ * Builder contract (Expr is any copyable value type):
+ *   Expr konst(uint32_t v);
+ *   Expr add(Expr a, Expr b);            //  a + b  (mod 2^32)
+ *   Expr sub(Expr a, Expr b);            //  a - b
+ *   Expr and_(Expr a, Expr b);
+ *   Expr or_(Expr a, Expr b);
+ *   Expr xor_(Expr a, Expr b);
+ *   Expr not_(Expr a);
+ *   Expr shl(Expr a, Expr amt);          //  a << (amt & 31)
+ *   Expr shrl(Expr a, Expr amt);         //  a >> (amt & 31), logical
+ *   Expr shra(Expr a, Expr amt);         //  a >> (amt & 31), arithmetic
+ *   Expr extractByte(Expr sel, Expr w);  //  (w >> 8*(sel&3)) & 0xff
+ *   Expr insertByte(Expr old, Expr src, Expr sel);
+ *                                        //  byte (sel&3) of old := src&0xff
+ *   Expr cmp(Cond c, Expr a, Expr b);    //  evalCond(c,a,b) ? 1 : 0
+ *   Expr select(Expr c, Expr t, Expr f); //  c != 0 ? t : f
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "isa/alu.h"
+#include "isa/cond.h"
+#include "isa/mem.h"
+
+namespace mips::isa {
+
+/** Symbolic counterpart of AluOutputs. */
+template <typename B> struct SymAluOutputs
+{
+    typename B::Expr rd{}; ///< new rd term (meaningful iff writes_rd)
+    typename B::Expr lo{}; ///< new LO term (meaningful iff writes_lo)
+    bool writes_rd = false;
+    bool writes_lo = false;
+};
+
+/**
+ * Symbolic counterpart of evalAlu(): same inputs (as terms), same
+ * per-opcode semantics, expressed through the builder. Overflow
+ * trapping is deliberately not modeled — the translation validator
+ * documents that incompleteness (DESIGN.md §8).
+ */
+template <typename B>
+SymAluOutputs<B>
+evalAluSymbolic(const AluPiece &piece, B &b, typename B::Expr rs,
+                typename B::Expr src2, typename B::Expr rd_old,
+                typename B::Expr lo)
+{
+    SymAluOutputs<B> out;
+    out.rd = rd_old;
+    out.lo = lo;
+    out.writes_rd = aluWritesRd(piece.op);
+    out.writes_lo = aluWritesLo(piece.op);
+
+    switch (piece.op) {
+      case AluOp::ADD:
+        out.rd = b.add(rs, src2);
+        break;
+      case AluOp::SUB:
+        out.rd = b.sub(rs, src2);
+        break;
+      case AluOp::RSUB:
+        out.rd = b.sub(src2, rs);
+        break;
+      case AluOp::AND:
+        out.rd = b.and_(rs, src2);
+        break;
+      case AluOp::OR:
+        out.rd = b.or_(rs, src2);
+        break;
+      case AluOp::XOR:
+        out.rd = b.xor_(rs, src2);
+        break;
+      case AluOp::NOT:
+        out.rd = b.not_(rs);
+        break;
+      case AluOp::SLL:
+        out.rd = b.shl(rs, src2);
+        break;
+      case AluOp::SRL:
+        out.rd = b.shrl(rs, src2);
+        break;
+      case AluOp::SRA:
+        out.rd = b.shra(rs, src2);
+        break;
+      case AluOp::XC:
+        // Byte pointer in rs (low two bits), word in src2.
+        out.rd = b.extractByte(rs, src2);
+        break;
+      case AluOp::IC:
+        // Replace byte (LO & 3) of old rd with the low byte of rs.
+        out.rd = b.insertByte(rd_old, rs, lo);
+        break;
+      case AluOp::MOVI8:
+        out.rd = b.konst(piece.imm8);
+        break;
+      case AluOp::SET:
+        out.rd = b.cmp(piece.cond, rs, src2);
+        break;
+      case AluOp::MTLO:
+        out.lo = rs;
+        break;
+      case AluOp::MFLO:
+        out.rd = lo;
+        break;
+      case AluOp::MSTEP:
+        // One shift-and-add multiply step (see evalAlu).
+        out.rd = b.select(b.and_(lo, b.konst(1)), b.add(rd_old, rs),
+                          rd_old);
+        out.lo = b.shrl(lo, b.konst(1));
+        break;
+      case AluOp::DSTEP: {
+        // One restoring-division step (see evalAlu).
+        typename B::Expr rem =
+            b.or_(b.shl(rd_old, b.konst(1)), b.shrl(lo, b.konst(31)));
+        typename B::Expr quo = b.shl(lo, b.konst(1));
+        typename B::Expr take =
+            b.and_(b.cmp(Cond::GEU, rem, rs),
+                   b.cmp(Cond::NE, rs, b.konst(0)));
+        out.rd = b.select(take, b.sub(rem, rs), rem);
+        out.lo = b.select(take, b.or_(quo, b.konst(1)), quo);
+        break;
+      }
+    }
+    return out;
+}
+
+/**
+ * Symbolic counterpart of memEffectiveAddress(). Must not be called
+ * for LONG_IMM (which makes no memory reference).
+ */
+template <typename B>
+typename B::Expr
+memEffectiveAddressSymbolic(const MemPiece &piece, B &b,
+                            typename B::Expr base,
+                            typename B::Expr index)
+{
+    switch (piece.mode) {
+      case MemMode::LONG_IMM:
+        break; // no memory reference; fall through to the panic
+      case MemMode::ABSOLUTE:
+        return b.konst(static_cast<uint32_t>(piece.imm));
+      case MemMode::DISP:
+        return b.add(base, b.konst(static_cast<uint32_t>(piece.imm)));
+      case MemMode::BASE_INDEX:
+        return b.add(base, index);
+      case MemMode::BASE_SHIFT:
+        return b.add(base, b.shrl(index, b.konst(piece.shift)));
+    }
+    detail::badMemMode(static_cast<int>(piece.mode));
+}
+
+/**
+ * The concrete builder: Expr is uint32_t and every operation is the
+ * plain 32-bit arithmetic evalAlu() performs. Evaluating
+ * evalAluSymbolic over this builder must reproduce evalAlu exactly;
+ * the conformance test in tests/tv_test.cc asserts it for every
+ * opcode over a broad input matrix.
+ */
+struct ConcreteBuilder
+{
+    using Expr = uint32_t;
+
+    Expr konst(uint32_t v) { return v; }
+    Expr add(Expr a, Expr b) { return a + b; }
+    Expr sub(Expr a, Expr b) { return a - b; }
+    Expr and_(Expr a, Expr b) { return a & b; }
+    Expr or_(Expr a, Expr b) { return a | b; }
+    Expr xor_(Expr a, Expr b) { return a ^ b; }
+    Expr not_(Expr a) { return ~a; }
+    Expr shl(Expr a, Expr amt) { return a << (amt & 31); }
+    Expr shrl(Expr a, Expr amt) { return a >> (amt & 31); }
+    Expr shra(Expr a, Expr amt)
+    {
+        return static_cast<uint32_t>(static_cast<int32_t>(a) >>
+                                     (amt & 31));
+    }
+    Expr extractByte(Expr sel, Expr w)
+    {
+        return (w >> (8 * (sel & 3))) & 0xff;
+    }
+    Expr insertByte(Expr old, Expr src, Expr sel)
+    {
+        int shift = 8 * (sel & 3);
+        uint32_t byte_mask = 0xffu << shift;
+        return (old & ~byte_mask) | ((src & 0xff) << shift);
+    }
+    Expr cmp(Cond c, Expr a, Expr b)
+    {
+        return evalCond(c, a, b) ? 1 : 0;
+    }
+    Expr select(Expr c, Expr t, Expr f) { return c != 0 ? t : f; }
+};
+
+} // namespace mips::isa

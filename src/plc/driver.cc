@@ -21,6 +21,7 @@ buildExecutable(std::string_view source,
     reorg::ReorgResult reorganized =
         reorg::reorganize(exe.legal_unit, reorg_options);
     exe.reorg_stats = reorganized.stats;
+    exe.tv_hints = std::move(reorganized.hints);
     exe.final_unit = std::move(reorganized.unit);
 
     auto program = assembler::link(exe.final_unit);

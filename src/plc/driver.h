@@ -20,6 +20,8 @@ struct Executable
     assembler::Unit legal_unit;  ///< peephole-optimized legal code
     assembler::Unit final_unit;  ///< post-reorganization unit
     reorg::ReorgStats reorg_stats;
+    /** Scheme-2 provenance, for the translation validator. */
+    std::vector<reorg::DupHint> tv_hints;
     PeepholeStats peephole;
     std::string asm_text;        ///< generated assembly source
 };

@@ -39,7 +39,8 @@ Dag::mayAlias(const MemPiece &a, const MemPiece &b, uint16_t block_written,
     return true;
 }
 
-Dag::Dag(const std::vector<Item> &items, const AliasOptions &alias)
+Dag::Dag(const std::vector<Item> &items, const AliasOptions &alias,
+         bool assume_no_alias)
 {
     nodes_.reserve(items.size());
     for (const Item &item : items)
@@ -83,7 +84,8 @@ Dag::Dag(const std::vector<Item> &items, const AliasOptions &alias)
                 dep = true;
 
             // Memory: conservative aliasing, stores never commute.
-            if (!dep && items[i].inst.mem && items[j].inst.mem) {
+            if (!dep && !assume_no_alias && items[i].inst.mem &&
+                items[j].inst.mem) {
                 bool either_store = items[i].inst.mem->is_store ||
                                     items[j].inst.mem->is_store;
                 if (either_store &&

@@ -42,9 +42,14 @@ struct AliasOptions
 class Dag
 {
   public:
-    /** Build from the block's items (terminator included, if any). */
+    /**
+     * Build from the block's items (terminator included, if any).
+     * `assume_no_alias` drops every memory-alias edge — test-only
+     * fault injection (ReorgBugs::alias_blind); never set otherwise.
+     */
     Dag(const std::vector<assembler::Item> &items,
-        const AliasOptions &alias = AliasOptions{});
+        const AliasOptions &alias = AliasOptions{},
+        bool assume_no_alias = false);
 
     std::vector<DagNode> &nodes() { return nodes_; }
     const std::vector<DagNode> &nodes() const { return nodes_; }

@@ -333,7 +333,7 @@ BlockScheduler::tryPack(int id)
         return false;
 
     int resident = out_nodes_.back()[0];
-    if (dag_->hasEdge(resident, id))
+    if (!opts_.bugs.pack_dependent && dag_->hasEdge(resident, id))
         return false;
 
     // The candidate now executes one position earlier: recheck the
@@ -416,6 +416,14 @@ BlockScheduler::scheduleBody(Dag &dag)
             if (best < 0 || better(id, best))
                 best = id;
         }
+        if (best < 0 && opts_.bugs.drop_load_noop) {
+            // Fault injection: emit the best *hazardous* candidate
+            // instead of covering the load delay with a no-op.
+            for (int id : ready_) {
+                if (id != term_id && (best < 0 || better(id, best)))
+                    best = id;
+            }
+        }
         if (best < 0) {
             emitNop();
             continue;
@@ -444,6 +452,29 @@ BlockScheduler::fillSlotsByMoving(Dag &dag, int term_id, int nslots)
         // of them.
         size_t found = term_pos; // sentinel: nothing found
         size_t lowest = term_pos > 8 ? term_pos - 8 : 0;
+        if (opts_.bugs.slot_overwritten_def) {
+            // Fault injection: take the *first* plausible word from
+            // the front, hopping it over later dependent words.
+            for (size_t p = lowest; p < term_pos; ++p) {
+                const Item &cand = out_[p];
+                if (isNopItem(cand) || cand.is_data)
+                    continue;
+                if (loadDelayWrites(cand) != 0)
+                    continue;
+                found = p;
+                break;
+            }
+            if (found == term_pos)
+                break;
+            std::rotate(out_.begin() + static_cast<long>(found),
+                        out_.begin() + static_cast<long>(found) + 1,
+                        out_.end());
+            std::rotate(out_nodes_.begin() + static_cast<long>(found),
+                        out_nodes_.begin() + static_cast<long>(found) + 1,
+                        out_nodes_.end());
+            ++stats_->slots_filled_move;
+            continue;
+        }
         for (size_t p = term_pos; p-- > lowest;) {
             const Item &cand = out_[p];
             if (isNopItem(cand) || cand.is_data)
@@ -520,7 +551,7 @@ BlockScheduler::run()
         return out_;
     }
 
-    Dag dag(block_.items, opts_.alias);
+    Dag dag(block_.items, opts_.alias, opts_.bugs.alias_blind);
     dag_ = &dag;
     int term_id = term ? static_cast<int>(dag.nodes().size()) - 1 : -1;
 
@@ -528,7 +559,7 @@ BlockScheduler::run()
 
     if (term) {
         RegUse term_use = isa::regUse(term->inst);
-        if (!hazardFreeAtEnd(term_use))
+        if (!hazardFreeAtEnd(term_use) && !opts_.bugs.drop_load_noop)
             emitNop();
         emitNode(term_id);
 
@@ -537,6 +568,8 @@ BlockScheduler::run()
         if (opts_.fill_delay)
             fillSlotsByMoving(dag, term_id, nslots);
         int filled = static_cast<int>(stats_->slots_filled_move - before);
+        if (opts_.bugs.drop_branch_noop && filled < nslots)
+            ++filled; // fault injection: one slot no-op dropped
         for (int i = filled; i < nslots; ++i)
             emitNop();
     }
@@ -566,7 +599,8 @@ slotSafe(const Item &item)
 void
 fillSlotsByDuplication(std::vector<Block> &blocks,
                        std::map<std::string, size_t> &labels,
-                       ReorgStats *stats)
+                       const ReorgOptions &opts, ReorgStats *stats,
+                       std::vector<DupHint> *hints)
 {
     int fresh = 0;
     for (Block &b : blocks) {
@@ -597,20 +631,37 @@ fillSlotsByDuplication(std::vector<Block> &blocks,
         if (!slotSafe(w) || w.inst.isStore())
             continue;
 
-        // Retarget past the duplicated instruction.
-        std::string new_label;
-        if (!target.items[1].labels.empty()) {
-            new_label = target.items[1].labels.front();
-        } else {
-            new_label = support::strprintf("L$dup%d", fresh++);
-            target.items[1].labels.push_back(new_label);
-            // Note: target.items[1] now begins a block conceptually;
-            // the final reassembly honours per-item labels.
-        }
         Item copy = w;
         copy.labels.clear();
+
+        if (opts.bugs.retarget_same_target) {
+            // Fault injection: fill the slot but keep the original
+            // target, so the duplicated word executes twice.
+            b.items[slot] = std::move(copy);
+            ++stats->slots_filled_dup;
+            continue;
+        }
+
+        // Retarget past the duplicated instruction(s). With the
+        // dup_skip_second fault injected, the retarget skips one word
+        // more than was duplicated.
+        size_t skip = opts.bugs.dup_skip_second ? 2u : 1u;
+        if (target.items.size() <= skip)
+            continue;
+        std::string orig_label = term.target;
+        std::string new_label;
+        if (!target.items[skip].labels.empty()) {
+            new_label = target.items[skip].labels.front();
+        } else {
+            new_label = support::strprintf("L$dup%d", fresh++);
+            target.items[skip].labels.push_back(new_label);
+            // Note: target.items[skip] now begins a block conceptually;
+            // the final reassembly honours per-item labels.
+        }
         b.items[slot] = std::move(copy);
         b.items[slot - 1].target = new_label;
+        if (hints)
+            hints->push_back(DupHint{orig_label, new_label, 1});
         ++stats->slots_filled_dup;
     }
 }
@@ -623,7 +674,8 @@ fillSlotsByDuplication(std::vector<Block> &blocks,
 void
 fillSlotsByHoisting(std::vector<Block> &blocks,
                     const std::map<std::string, size_t> &labels,
-                    const Liveness &lv, ReorgStats *stats)
+                    const Liveness &lv, const ReorgOptions &opts,
+                    ReorgStats *stats)
 {
     for (size_t i = 0; i + 1 < blocks.size(); ++i) {
         Block &b = blocks[i];
@@ -655,8 +707,10 @@ fillSlotsByHoisting(std::vector<Block> &blocks,
         if (it == labels.end())
             continue;
         uint16_t live_at_target = lv.live_in[it->second];
-        if ((use.gpr_writes & live_at_target) != 0)
+        if (!opts.bugs.hoist_blind &&
+            (use.gpr_writes & live_at_target) != 0) {
             continue; // visible on the taken path
+        }
 
         Item moved = w;
         moved.labels.clear();
@@ -715,9 +769,9 @@ reorganize(const Unit &legal, const ReorgOptions &opts)
 
     if (opts.fill_delay) {
         auto scheduled_labels = labelMap(scheduled);
-        fillSlotsByDuplication(scheduled, scheduled_labels,
-                               &result.stats);
-        fillSlotsByHoisting(scheduled, scheduled_labels, lv,
+        fillSlotsByDuplication(scheduled, scheduled_labels, opts,
+                               &result.stats, &result.hints);
+        fillSlotsByHoisting(scheduled, scheduled_labels, lv, opts,
                             &result.stats);
     }
 

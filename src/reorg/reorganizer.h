@@ -33,10 +33,50 @@
  */
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "asm/unit.h"
 #include "reorg/dag.h"
 
 namespace mips::reorg {
+
+/**
+ * Test-only fault-injection switches. Each flag, when set, disables
+ * exactly one safety check inside one reorganizer stage, turning it
+ * into a known-buggy reorganizer. The translation-validation mutation
+ * suite (tests/tv_test.cc) flips each flag on a program designed to
+ * trigger it and asserts the validator reports a TV0xx error. All
+ * flags default to off; production callers never set them.
+ */
+struct ReorgBugs
+{
+    /** Packing ignores the resident→candidate dependence edge. */
+    bool pack_dependent = false;
+    /** Scheme 3 hoists without checking taken-path liveness. */
+    bool hoist_blind = false;
+    /** The dependence DAG assumes no two memory references alias. */
+    bool alias_blind = false;
+    /** Scheme 1 moves a word into the slot ignoring dependences. */
+    bool slot_overwritten_def = false;
+    /** The scheduler drops the no-op that covers a load delay. */
+    bool drop_load_noop = false;
+    /** The scheduler drops a branch-delay-slot no-op outright. */
+    bool drop_branch_noop = false;
+    /** Scheme 2 fills the slot but forgets to retarget the branch. */
+    bool retarget_same_target = false;
+    /** Scheme 2 retargets past *two* words while duplicating one. */
+    bool dup_skip_second = false;
+
+    bool
+    any() const
+    {
+        return pack_dependent || hoist_blind || alias_blind ||
+               slot_overwritten_def || drop_load_noop ||
+               drop_branch_noop || retarget_same_target ||
+               dup_skip_second;
+    }
+};
 
 /** Which stages run; defaults are the full reorganizer. */
 struct ReorgOptions
@@ -45,6 +85,22 @@ struct ReorgOptions
     bool pack = true;       ///< ALU/memory piece packing
     bool fill_delay = true; ///< branch-delay schemes 1-3
     AliasOptions alias;     ///< memory disambiguation configuration
+    ReorgBugs bugs;         ///< test-only fault injection (see above)
+};
+
+/**
+ * Provenance record for one scheme-2 duplication: the transfer that
+ * used to target `orig_label` now targets `dup_label`, and the
+ * `words` output words starting at `orig_label` were duplicated into
+ * the delay slot. The translation validator consumes these hints to
+ * prove retargeted exits equivalent (it replays the words between the
+ * two labels on the input side and compares full states).
+ */
+struct DupHint
+{
+    std::string orig_label; ///< the original transfer target
+    std::string dup_label;  ///< the new target, past the duplication
+    size_t words = 1;       ///< duplicated word count (currently 1)
 };
 
 /** Static counters describing one reorganization. */
@@ -74,6 +130,8 @@ struct ReorgResult
 {
     assembler::Unit unit;
     ReorgStats stats;
+    /** Scheme-2 provenance, for the translation validator. */
+    std::vector<DupHint> hints;
 };
 
 /**

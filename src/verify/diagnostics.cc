@@ -23,6 +23,13 @@ codeName(Code code)
       case Code::LT003: return "LT003";
       case Code::VF001: return "VF001";
       case Code::VF002: return "VF002";
+      case Code::TV001: return "TV001";
+      case Code::TV002: return "TV002";
+      case Code::TV003: return "TV003";
+      case Code::TV004: return "TV004";
+      case Code::TV005: return "TV005";
+      case Code::TV006: return "TV006";
+      case Code::TV090: return "TV-UNKNOWN";
     }
     support::panic("codeName: bad code %d", static_cast<int>(code));
 }
@@ -66,6 +73,34 @@ codeDescription(Code code)
         return "the instruction word violates the encoding rules";
       case Code::VF002:
         return "a label operand names no label defined in the unit";
+      case Code::TV001:
+        return "symbolic execution proves the reorganized unit leaves "
+               "different values in the general registers than the "
+               "legal input unit at a paired region exit";
+      case Code::TV002:
+        return "symbolic execution proves the reorganized unit's "
+               "memory state (ordered store log modulo provably "
+               "disjoint reordering) diverges from the legal input "
+               "unit at a paired region exit";
+      case Code::TV003:
+        return "a paired region exit transfers control to a different "
+               "target (or a different kind of exit) than the legal "
+               "input unit";
+      case Code::TV004:
+        return "a paired conditional exit branches on a provably "
+               "different condition than the legal input unit";
+      case Code::TV005:
+        return "the validator cannot pair regions of the input and "
+               "output units (missing label, mismatched fenced-region "
+               "structure, or mismatched exit counts)";
+      case Code::TV006:
+        return "symbolic execution proves the LO special register or "
+               "the ordered system-state effect log diverges at a "
+               "paired region exit";
+      case Code::TV090:
+        return "translation validation was inconclusive for a region "
+               "(expression budget exhausted or an unsupported "
+               "construct); the region is NOT proven equivalent";
     }
     support::panic("codeDescription: bad code %d",
                    static_cast<int>(code));
@@ -172,7 +207,8 @@ jsonEscape(const std::string &s)
 } // namespace
 
 std::string
-renderJson(const std::vector<Diagnostic> &diags, const std::string &name)
+renderJson(const std::vector<Diagnostic> &diags, const std::string &name,
+           double elapsed_ms)
 {
     size_t errors = 0, warnings = 0, notes = 0;
     for (const Diagnostic &d : diags) {
@@ -185,6 +221,8 @@ renderJson(const std::vector<Diagnostic> &diags, const std::string &name)
     std::string out = "{\n";
     out += support::strprintf("  \"unit\": \"%s\",\n",
                               jsonEscape(name).c_str());
+    if (elapsed_ms >= 0.0)
+        out += support::strprintf("  \"elapsed_ms\": %.3f,\n", elapsed_ms);
     out += support::strprintf(
         "  \"errors\": %zu,\n  \"warnings\": %zu,\n  \"notes\": %zu,\n",
         errors, warnings, notes);

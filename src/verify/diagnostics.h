@@ -43,10 +43,17 @@ enum class Code : uint8_t
     LT003,     ///< unreachable code
     VF001,     ///< invalid instruction word
     VF002,     ///< undefined label operand
+    TV001,     ///< translation validation: register state divergence
+    TV002,     ///< translation validation: memory store-log divergence
+    TV003,     ///< translation validation: exit kind/target divergence
+    TV004,     ///< translation validation: exit condition divergence
+    TV005,     ///< translation validation: region pairing failure
+    TV006,     ///< translation validation: LO/system-state divergence
+    TV090,     ///< translation validation inconclusive (TV-UNKNOWN)
 };
 
 /** Number of distinct diagnostic codes. */
-constexpr int kNumCodes = static_cast<int>(Code::VF002) + 1;
+constexpr int kNumCodes = static_cast<int>(Code::TV090) + 1;
 
 /** Stable textual name of a code, e.g. "HZ001". */
 const char *codeName(Code code);
@@ -116,9 +123,12 @@ std::string renderText(const std::vector<Diagnostic> &diags,
 /**
  * Machine-readable rendering: one JSON object with the unit name,
  * per-severity totals, and a `diagnostics` array carrying code,
- * severity, pc, item index, source line, and message.
+ * severity, pc, item index, source line, and message. When
+ * `elapsed_ms` is non-negative it is included as an `elapsed_ms`
+ * field (per-unit wall time, so CI can see what the gate costs).
  */
 std::string renderJson(const std::vector<Diagnostic> &diags,
-                       const std::string &name);
+                       const std::string &name,
+                       double elapsed_ms = -1.0);
 
 } // namespace mips::verify

@@ -1,20 +1,30 @@
 /**
  * @file
- * mipsverify — static hazard verifier and lint driver.
+ * mipsverify — static hazard verifier, lint driver, and translation
+ * validator.
  *
  *   mipsverify file.s            verify an assembly unit as-is
  *   mipsverify --reorg file.s    reorganize legal code, then verify the
  *                                output (including .noreorder integrity)
+ *   mipsverify --tv file.s       reorganize, verify, and symbolically
+ *                                prove the output equivalent (implies
+ *                                --reorg)
  *   mipsverify --corpus          compile every embedded workload program
  *                                through the full tool chain and verify
- *                                each reorganized unit
+ *                                each reorganized unit (add --tv to also
+ *                                prove each one equivalent)
  *
- * Options: --json (machine-readable report), --no-lint (hazard checks
- * only), --quiet (status only, no per-finding output).
+ * Options: --json (machine-readable report with per-unit wall time),
+ * --no-lint (hazard checks only), --quiet (status only), --strict
+ * (promote notes — e.g. TV090 "not proven" — to errors), --fail-fast
+ * (stop --corpus at the first failing unit), --no-reorder / --no-pack /
+ * --no-fill-delay (toggle individual reorganizer stages, for the
+ * per-stage validation matrix in scripts/check.sh).
  *
  * Exit status: 0 = no error-severity findings, 1 = at least one error,
  * 2 = usage or input failure.
  */
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +35,7 @@
 #include "plc/driver.h"
 #include "reorg/reorganizer.h"
 #include "support/logging.h"
+#include "verify/tv.h"
 #include "verify/verify.h"
 #include "workload/corpus.h"
 
@@ -33,10 +44,14 @@ namespace {
 struct CliOptions
 {
     bool reorg = false;
+    bool tv = false;
     bool corpus = false;
     bool json = false;
     bool quiet = false;
+    bool strict = false;
+    bool fail_fast = false;
     mips::verify::VerifyOptions verify;
+    mips::reorg::ReorgOptions reorg_options;
     std::string file;
 };
 
@@ -44,26 +59,58 @@ void
 usage(FILE *to)
 {
     std::fprintf(to,
-                 "usage: mipsverify [--reorg] [--json] [--no-lint] "
-                 "[--quiet] file.s\n"
-                 "       mipsverify --corpus [--json] [--no-lint] "
-                 "[--quiet]\n");
+                 "usage: mipsverify [--reorg] [--tv] [--json] [--no-lint] "
+                 "[--strict]\n"
+                 "                  [--no-reorder] [--no-pack] "
+                 "[--no-fill-delay] [--quiet] file.s\n"
+                 "       mipsverify --corpus [--tv] [--fail-fast] "
+                 "[--json] [--no-lint]\n"
+                 "                  [--strict] [--no-reorder] [--no-pack] "
+                 "[--no-fill-delay] [--quiet]\n");
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** Fold the translation-validation findings into the hazard report. */
+void
+mergeReport(mips::verify::VerifyReport *into,
+            const mips::verify::VerifyReport &from)
+{
+    into->diagnostics.insert(into->diagnostics.end(),
+                             from.diagnostics.begin(),
+                             from.diagnostics.end());
+    into->errors += from.errors;
+    into->warnings += from.warnings;
+    into->notes += from.notes;
 }
 
 /** Print (unless quiet) and report whether the unit verified clean. */
 bool
-emit(const CliOptions &cli, const mips::verify::VerifyReport &report,
-     const mips::assembler::Unit &unit, const std::string &name)
+emit(const CliOptions &cli, mips::verify::VerifyReport report,
+     const mips::assembler::Unit &unit, const std::string &name,
+     double elapsed_ms)
 {
+    if (cli.strict)
+        mips::verify::promoteNotesToErrors(&report);
     if (cli.json) {
-        std::printf("%s\n", mips::verify::reportJson(report, name).c_str());
+        std::printf("%s\n",
+                    mips::verify::reportJson(report, name, elapsed_ms)
+                        .c_str());
     } else if (!cli.quiet) {
         std::string text = mips::verify::reportText(report, unit, name);
         if (!text.empty())
             std::fputs(text.c_str(), stdout);
-        std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+        std::printf("%s: %zu error(s), %zu warning(s), %zu note(s) "
+                    "[%.1f ms]\n",
                     name.c_str(), report.errors, report.warnings,
-                    report.notes);
+                    report.notes, elapsed_ms);
     }
     return report.clean();
 }
@@ -78,24 +125,42 @@ runCorpus(const CliOptions &cli)
     programs.push_back(mips::workload::puzzle1Program());
 
     size_t failed = 0;
+    size_t ran = 0;
     for (const auto &program : programs) {
-        auto built = mips::plc::buildExecutable(program.source);
+        Clock::time_point start = Clock::now();
+        ++ran;
+        auto built = mips::plc::buildExecutable(
+            program.source, mips::plc::CompileOptions{}, cli.reorg_options);
         if (!built.ok()) {
             std::fprintf(stderr, "mipsverify: %s: compile failed: %s\n",
                          program.name, built.error().message.c_str());
             ++failed;
+            if (cli.fail_fast)
+                break;
             continue;
         }
         const mips::plc::Executable &exe = built.value();
         auto report = mips::verify::verifyReorganization(
             exe.legal_unit, exe.final_unit, cli.verify);
-        if (!emit(cli, report, exe.final_unit, program.name))
+        if (cli.tv) {
+            mips::verify::TvOptions tvopts;
+            tvopts.alias = cli.reorg_options.alias;
+            mergeReport(&report, mips::verify::validateTranslation(
+                                     exe.legal_unit, exe.final_unit,
+                                     exe.tv_hints, tvopts));
+        }
+        if (!emit(cli, report, exe.final_unit, program.name,
+                  msSince(start))) {
             ++failed;
+            if (cli.fail_fast)
+                break;
+        }
     }
     if (!cli.quiet) {
         std::printf("mipsverify: %zu/%zu corpus program(s) verified "
-                    "clean\n",
-                    programs.size() - failed, programs.size());
+                    "clean%s\n",
+                    ran - failed, programs.size(),
+                    ran < programs.size() ? " (stopped early)" : "");
     }
     return failed == 0 ? 0 : 1;
 }
@@ -128,18 +193,29 @@ runFile(const CliOptions &cli)
     }
     mips::assembler::Unit unit = parsed.take();
 
+    Clock::time_point start = Clock::now();
     mips::verify::VerifyReport report;
     const mips::assembler::Unit *report_unit = &unit;
     mips::assembler::Unit reorganized;
     if (cli.reorg) {
-        reorganized = mips::reorg::reorganize(unit).unit;
+        mips::reorg::ReorgResult result =
+            mips::reorg::reorganize(unit, cli.reorg_options);
+        reorganized = std::move(result.unit);
         report = mips::verify::verifyReorganization(unit, reorganized,
                                                     cli.verify);
+        if (cli.tv) {
+            mips::verify::TvOptions tvopts;
+            tvopts.alias = cli.reorg_options.alias;
+            mergeReport(&report,
+                        mips::verify::validateTranslation(
+                            unit, reorganized, result.hints, tvopts));
+        }
         report_unit = &reorganized;
     } else {
         report = mips::verify::verifyUnit(unit, cli.verify);
     }
-    return emit(cli, report, *report_unit, cli.file) ? 0 : 1;
+    return emit(cli, report, *report_unit, cli.file, msSince(start)) ? 0
+                                                                     : 1;
 }
 
 } // namespace
@@ -152,12 +228,25 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--reorg") {
             cli.reorg = true;
+        } else if (arg == "--tv") {
+            cli.tv = true;
+            cli.reorg = true;
         } else if (arg == "--corpus") {
             cli.corpus = true;
         } else if (arg == "--json") {
             cli.json = true;
         } else if (arg == "--no-lint") {
             cli.verify.lint = false;
+        } else if (arg == "--strict") {
+            cli.strict = true;
+        } else if (arg == "--fail-fast") {
+            cli.fail_fast = true;
+        } else if (arg == "--no-reorder") {
+            cli.reorg_options.reorder = false;
+        } else if (arg == "--no-pack") {
+            cli.reorg_options.pack = false;
+        } else if (arg == "--no-fill-delay") {
+            cli.reorg_options.fill_delay = false;
         } else if (arg == "--quiet") {
             cli.quiet = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -60,6 +60,18 @@ verifyReorganization(const assembler::Unit &input,
     return finish(engine);
 }
 
+void
+promoteNotesToErrors(VerifyReport *report)
+{
+    for (Diagnostic &d : report->diagnostics) {
+        if (d.severity == Severity::NOTE) {
+            d.severity = Severity::ERROR;
+            --report->notes;
+            ++report->errors;
+        }
+    }
+}
+
 std::string
 reportText(const VerifyReport &report, const assembler::Unit &unit,
            const std::string &name)
@@ -68,9 +80,10 @@ reportText(const VerifyReport &report, const assembler::Unit &unit,
 }
 
 std::string
-reportJson(const VerifyReport &report, const std::string &name)
+reportJson(const VerifyReport &report, const std::string &name,
+           double elapsed_ms)
 {
-    return renderJson(report.diagnostics, name);
+    return renderJson(report.diagnostics, name, elapsed_ms);
 }
 
 } // namespace mips::verify

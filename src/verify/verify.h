@@ -94,13 +94,24 @@ verifyReorganization(const assembler::Unit &input,
                      const assembler::Unit &output,
                      const VerifyOptions &options = VerifyOptions{});
 
+/**
+ * Strict mode: upgrade every NOTE to an ERROR in place (used by
+ * `mipsverify --strict`, where e.g. a TV090 "not proven" note must
+ * fail the gate instead of merely warning).
+ */
+void promoteNotesToErrors(VerifyReport *report);
+
 /** Render a report as human-readable text (one line per finding). */
 std::string reportText(const VerifyReport &report,
                        const assembler::Unit &unit,
                        const std::string &name);
 
-/** Render a report as a machine-readable JSON object. */
+/**
+ * Render a report as a machine-readable JSON object. A non-negative
+ * `elapsed_ms` is included as per-unit wall time.
+ */
 std::string reportJson(const VerifyReport &report,
-                       const std::string &name);
+                       const std::string &name,
+                       double elapsed_ms = -1.0);
 
 } // namespace mips::verify

@@ -12,6 +12,7 @@
 #include "plc/driver.h"
 #include "sim/machine.h"
 #include "support/rng.h"
+#include "verify/tv.h"
 #include "verify/verify.h"
 
 namespace mips {
@@ -197,6 +198,17 @@ runVariant(const std::string &source, plc::Layout layout,
     EXPECT_TRUE(vr.clean())
         << tag << ": static verification failed:\n"
         << verify::reportText(vr, exe.value().final_unit, tag);
+
+    // Second static oracle: the translation validator must prove the
+    // reorganized unit equivalent (no errors, no unproven regions).
+    verify::TvOptions tvopts;
+    tvopts.alias = ropts.alias;
+    verify::VerifyReport tv = verify::validateTranslation(
+        exe.value().legal_unit, exe.value().final_unit,
+        exe.value().tv_hints, tvopts);
+    EXPECT_TRUE(tv.clean() && tv.notes == 0)
+        << tag << ": translation validation failed:\n"
+        << verify::reportText(tv, exe.value().final_unit, tag);
 
     sim::Machine machine;
     machine.load(exe.value().program);

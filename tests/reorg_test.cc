@@ -14,6 +14,7 @@
 #include "reorg/reorganizer.h"
 #include "sim/machine.h"
 #include "support/rng.h"
+#include "verify/tv.h"
 #include "verify/verify.h"
 
 namespace mips::reorg {
@@ -473,6 +474,17 @@ expectEquivalent(const Unit &legal, const ReorgOptions &opts,
     EXPECT_TRUE(vr.clean())
         << tag << ": static verification failed:\n"
         << verify::reportText(vr, r.unit, "reorganized")
+        << listing(r.unit);
+
+    // Second static oracle: the translation validator must *prove* the
+    // output equivalent — no errors and no unproven (TV090) regions.
+    verify::TvOptions tvopts;
+    tvopts.alias = opts.alias;
+    verify::VerifyReport tv =
+        verify::validateTranslation(legal, r.unit, r.hints, tvopts);
+    EXPECT_TRUE(tv.clean() && tv.notes == 0)
+        << tag << ": translation validation failed:\n"
+        << verify::reportText(tv, r.unit, "reorganized")
         << listing(r.unit);
 
     Program p = assembler::link(r.unit).take();
