@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Pipeline-session throughput suite: times the full corpus tool chain
+ * (compile → reorganize → hazard-verify → translation-validate →
+ * simulate) through `pipeline::runAll` in three configurations and
+ * writes the results to a machine-readable JSON file (default
+ * `BENCH_pipeline.json` in the working directory, override with
+ * `--json=PATH`):
+ *
+ *   - serial cold:  fresh Session, 1 job — every stage computes
+ *   - cached:       same Session again — every stage hits the cache
+ *   - parallel:     fresh Session, 8 jobs — BatchRunner fans the
+ *                   corpus across worker threads
+ *
+ * The speedup ratios (`cache_speedup`, `parallel_speedup`) are
+ * recorded but not gated here: parallel scaling depends on host core
+ * count (a single-core CI box can't show it), so scripts/check.sh
+ * validates the report's structure, not a threshold.
+ *
+ * The same configurations are registered as google-benchmark cases
+ * (`BM_CorpusChain/{serial_cold,cached,parallel8}`) for interactive
+ * measurement, and the per-stage hit/miss/wall-time counters from the
+ * cold run are printed as a `PipelineStats` table.
+ */
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pipeline/session.h"
+#include "support/logging.h"
+#include "workload/corpus.h"
+
+namespace {
+
+namespace pl = mips::pipeline;
+
+const std::vector<mips::workload::CorpusProgram> &
+benchCorpus()
+{
+    static const std::vector<mips::workload::CorpusProgram> kCorpus =
+        [] {
+            std::vector<mips::workload::CorpusProgram> programs =
+                mips::workload::corpus();
+            programs.push_back(mips::workload::fibonacciProgram());
+            programs.push_back(mips::workload::puzzle0Program());
+            programs.push_back(mips::workload::puzzle1Program());
+            return programs;
+        }();
+    return kCorpus;
+}
+
+pl::ChainSpec
+fullChain()
+{
+    pl::ChainSpec spec;
+    spec.reorganize = true;
+    spec.hazard_verify = true;
+    spec.translation_validate = true;
+    spec.simulate = true;
+    return spec;
+}
+
+/** Run the whole corpus through the full chain; panic on any failure
+ *  (the corpus is expected to verify clean — this is a benchmark, not
+ *  a test). Returns wall time in milliseconds. */
+double
+runChain(pl::Session &session, unsigned jobs)
+{
+    using clock = std::chrono::steady_clock;
+    auto start = clock::now();
+    std::vector<pl::ChainResult> results = pl::runAll(
+        session, benchCorpus(), fullChain(), pl::StageOptions{}, jobs);
+    double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count();
+    for (const pl::ChainResult &r : results) {
+        if (!r.ok())
+            mips::support::panic("bench_pipeline: %s: %s",
+                                 r.name.c_str(), r.error.c_str());
+        if (!r.verify->report.clean())
+            mips::support::panic(
+                "bench_pipeline: %s: verification not clean",
+                r.name.c_str());
+    }
+    return ms;
+}
+
+// --- google-benchmark cases ------------------------------------------
+
+void
+BM_CorpusChainSerialCold(benchmark::State &state)
+{
+    for (auto _ : state) {
+        pl::Session session;
+        benchmark::DoNotOptimize(runChain(session, 1));
+    }
+}
+BENCHMARK(BM_CorpusChainSerialCold)
+    ->Name("BM_CorpusChain/serial_cold")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_CorpusChainCached(benchmark::State &state)
+{
+    pl::Session session;
+    runChain(session, 1); // warm the cache outside the timed loop
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runChain(session, 1));
+}
+BENCHMARK(BM_CorpusChainCached)
+    ->Name("BM_CorpusChain/cached")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+void
+BM_CorpusChainParallel8(benchmark::State &state)
+{
+    for (auto _ : state) {
+        pl::Session session;
+        benchmark::DoNotOptimize(runChain(session, 8));
+    }
+}
+BENCHMARK(BM_CorpusChainParallel8)
+    ->Name("BM_CorpusChain/parallel8")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// --- JSON report ------------------------------------------------------
+
+void
+writeJson(const std::string &path, double serial_ms, double cached_ms,
+          double parallel_ms, unsigned jobs, const pl::PipelineStats &st)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        mips::support::panic("bench_pipeline: cannot write %s",
+                             path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"bench_pipeline\",\n");
+    std::fprintf(f, "  \"metric\": \"full corpus tool-chain wall time "
+                    "(compile+reorg+verify+tv+simulate)\",\n");
+    std::fprintf(f, "  \"programs\": %zu,\n", benchCorpus().size());
+    std::fprintf(f, "  \"jobs\": %u,\n", jobs);
+    std::fprintf(f, "  \"serial_ms\": %.3f,\n", serial_ms);
+    std::fprintf(f, "  \"cached_ms\": %.3f,\n", cached_ms);
+    std::fprintf(f, "  \"parallel_ms\": %.3f,\n", parallel_ms);
+    std::fprintf(f, "  \"cache_speedup\": %.3f,\n",
+                 cached_ms > 0.0 ? serial_ms / cached_ms : 0.0);
+    std::fprintf(f, "  \"parallel_speedup\": %.3f,\n",
+                 parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    std::fprintf(f, "  \"stages\": [\n");
+    for (size_t s = 0; s < pl::kStageCount; ++s) {
+        const pl::StageCounters &c = st.stage[s];
+        std::fprintf(f,
+                     "    {\"stage\": \"%s\", \"hits\": %llu, "
+                     "\"misses\": %llu, \"miss_ms\": %.3f}%s\n",
+                     pl::stageName(static_cast<pl::Stage>(s)),
+                     static_cast<unsigned long long>(c.hits),
+                     static_cast<unsigned long long>(c.misses),
+                     c.miss_ms, s + 1 < pl::kStageCount ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("corpus chain: serial %.1f ms, cached %.1f ms "
+                "(%.1fx), parallel(%u) %.1f ms (%.2fx) -> %s\n",
+                serial_ms, cached_ms,
+                cached_ms > 0.0 ? serial_ms / cached_ms : 0.0, jobs,
+                parallel_ms,
+                parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip our own --json=PATH flag before google-benchmark parses.
+    std::string json_path = "BENCH_pipeline.json";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+
+    const unsigned kJobs = 8;
+
+    // Serial cold run, with per-stage counters from a fresh session.
+    pl::Session cold;
+    double serial_ms = runChain(cold, 1);
+    std::fputs(cold.stats().table().c_str(), stdout);
+    std::fputs("\n", stdout);
+
+    // Same session again: every stage should hit the cache.
+    double cached_ms = runChain(cold, 1);
+
+    // Fresh session, fanned across worker threads.
+    pl::Session parallel;
+    double parallel_ms = runChain(parallel, kJobs);
+
+    writeJson(json_path, serial_ms, cached_ms, parallel_ms, kJobs,
+              cold.stats());
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

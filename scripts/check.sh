@@ -8,6 +8,11 @@
 #   scripts/check.sh --bench-only [build-dir]  benchmark + JSON check only
 #   scripts/check.sh sanitize [build-dir]      ASan+UBSan build + ctest
 #                                              (default ./build-sanitize)
+#   scripts/check.sh tsan [build-dir]          ThreadSanitizer build; runs
+#                                              the pipeline-session tests
+#                                              and a parallel mipsverify
+#                                              corpus pass (default
+#                                              ./build-tsan)
 #   scripts/check.sh tv [build-dir]            translation-validation gate
 #                                              only (corpus must prove
 #                                              equivalent under the full
@@ -52,6 +57,18 @@ if [ "${1:-}" = "tv" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "tsan" ]; then
+    shift
+    build_dir=${1:-"$repo_root/build-tsan"}
+    cmake -S "$repo_root" -B "$build_dir" -DMIPS82_TSAN=ON
+    cmake --build "$build_dir" -j "$(nproc)" \
+        --target pipeline_test mipsverify
+    "$build_dir/tests/pipeline_test"
+    "$build_dir/src/verify/mipsverify" --jobs 8 --corpus --quiet
+    echo "check.sh: tsan green"
+    exit 0
+fi
+
 if [ "${1:-}" = "sanitize" ]; then
     shift
     build_dir=${1:-"$repo_root/build-sanitize"}
@@ -83,6 +100,22 @@ if [ "$bench_only" -eq 0 ]; then
     # severity diagnostic).
     "$build_dir/src/verify/mipsverify" --corpus
 
+    # Determinism gate: parallel verification must emit byte-identical
+    # output to a serial run, in text and JSON mode (--no-time drops
+    # the wall-clock fields, which legitimately vary).
+    mv=$build_dir/src/verify/mipsverify
+    for mode in "" "--json"; do
+        # shellcheck disable=SC2086  # word-splitting is intended
+        "$mv" --corpus --no-time --jobs 1 $mode \
+            > "$build_dir/verify-serial.out"
+        # shellcheck disable=SC2086
+        "$mv" --corpus --no-time --jobs 8 $mode \
+            > "$build_dir/verify-parallel.out"
+        cmp "$build_dir/verify-serial.out" \
+            "$build_dir/verify-parallel.out"
+        echo "check.sh: --jobs 8 output identical (${mode:-text})"
+    done
+
     # Translation-validation gate: the corpus must also *prove*
     # equivalent, under the full reorganizer and each stage toggle.
     run_tv_gate "$build_dir"
@@ -105,6 +138,34 @@ if fast <= 0 or slow <= 0:
     sys.exit("bench_throughput reported non-positive throughput")
 print(f"bench_throughput: fastpath {fast/1e6:.1f}M instr/s, "
       f"baseline {slow/1e6:.1f}M instr/s, speedup {agg['speedup']:.2f}x")
+EOF
+
+# Pipeline-session benchmark: corpus chains serial vs cached vs
+# parallel. Structure is validated; the speedups are recorded, not
+# gated (parallel scaling depends on host core count).
+pjson=$build_dir/BENCH_pipeline.json
+"$build_dir/bench/bench_pipeline" --json="$pjson" \
+    --benchmark_filter='^$' > /dev/null
+
+python3 - "$pjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in ("serial_ms", "cached_ms", "parallel_ms"):
+    if report[key] <= 0:
+        sys.exit(f"bench_pipeline reported non-positive {key}")
+if report["programs"] <= 0:
+    sys.exit("bench_pipeline reported no programs")
+if len(report["stages"]) != 7:
+    sys.exit("bench_pipeline reported wrong stage count")
+misses = sum(s["misses"] for s in report["stages"])
+if misses <= 0:
+    sys.exit("bench_pipeline cold run recorded no cache misses")
+print(f"bench_pipeline: serial {report['serial_ms']:.1f} ms, "
+      f"cached {report['cached_ms']:.1f} ms "
+      f"({report['cache_speedup']:.1f}x), "
+      f"parallel({report['jobs']}) {report['parallel_ms']:.1f} ms "
+      f"({report['parallel_speedup']:.2f}x)")
 EOF
 
 echo "check.sh: all green"

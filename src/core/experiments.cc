@@ -2,8 +2,7 @@
 
 #include "asm/assembler.h"
 #include "ccm/taxonomy.h"
-#include "plc/driver.h"
-#include "sim/machine.h"
+#include "pipeline/session.h"
 #include "support/logging.h"
 #include "support/table.h"
 #include "workload/corpus.h"
@@ -15,29 +14,80 @@ using support::TextTable;
 
 namespace {
 
+// Every corpus chain below goes through the shared pipeline session:
+// drivers that touch the same program (e.g. Tables 3 and 11, or a
+// bench binary printing a table and then benchmarking it) share one
+// compile/simulate artifact instead of re-running the chain.
+
+pipeline::StageOptions
+layoutOptions(plc::Layout layout)
+{
+    pipeline::StageOptions options;
+    options.compile.layout = layout;
+    return options;
+}
+
 /** Paper cost assumption: memory instructions 4 cycles, ALU 1. */
 double
 sequenceCost(std::string_view asm_text)
 {
-    assembler::Program prog = assembler::assembleOrDie(asm_text);
+    auto assembled = pipeline::sharedSession().assemble(asm_text);
+    if (!assembled.ok())
+        support::panic("sequence fragment: %s",
+                       assembled.error().str().c_str());
     double cost = 0;
-    for (const isa::Instruction &inst : prog.words) {
-        if (inst.isNop())
+    for (const assembler::Item &item : assembled.value()->unit.items) {
+        if (item.is_data || item.inst.isNop())
             continue;
-        cost += inst.referencesMemory() ? 4.0 : 1.0;
+        cost += item.inst.referencesMemory() ? 4.0 : 1.0;
     }
     return cost;
 }
 
-workload::ProfileResult
+/** Parse + analyze a corpus program through the session cache. */
+const plc::ProgramAst &
+parseOrDie(const workload::CorpusProgram &program, plc::Layout layout)
+{
+    auto parsed =
+        pipeline::sharedSession().parse(program.source, layout);
+    if (!parsed.ok()) {
+        support::panic("parsing %s failed: %s", program.name,
+                       parsed.error().str().c_str());
+    }
+    return parsed.value()->ast;
+}
+
+/** Run one program with reference profiling through the session. */
+pipeline::SimRef
 profileOrDie(const char *name, const char *source, plc::Layout layout)
 {
-    auto result = workload::profileProgram(source, layout);
+    pipeline::StageOptions options = layoutOptions(layout);
+    options.sim.profile = true;
+    auto result = pipeline::sharedSession().simulate(source, options);
     if (!result.ok()) {
         support::panic("profiling %s failed: %s", name,
                        result.error().str().c_str());
     }
-    return result.take();
+    if (result.value()->stop != sim::StopReason::HALT) {
+        support::panic("profiling %s: program did not halt: %s", name,
+                       result.value()->error.c_str());
+    }
+    return result.value();
+}
+
+/** Profile the whole corpus and merge (cached per program). */
+workload::ProfileResult
+profileCorpusOrDie(plc::Layout layout)
+{
+    workload::ProfileResult merged;
+    for (const workload::CorpusProgram &program : workload::corpus()) {
+        pipeline::SimRef run =
+            profileOrDie(program.name, program.source, layout);
+        merged.refs.merge(run->refs);
+        merged.cycles += run->cycles;
+        merged.free_data_cycles += run->free_data_cycles;
+    }
+    return merged;
 }
 
 } // namespace
@@ -61,9 +111,10 @@ Table1Result
 runTable1()
 {
     Table1Result result;
-    for (const plc::ProgramAst &ast :
-         workload::parseCorpus(plc::Layout::WORD_ALLOCATED)) {
-        workload::collectConstants(ast, &result.dist);
+    for (const workload::CorpusProgram &program : workload::corpus()) {
+        workload::collectConstants(
+            parseOrDie(program, plc::Layout::WORD_ALLOCATED),
+            &result.dist);
     }
 
     static const std::pair<const char *, double> kPaper[] = {
@@ -100,12 +151,15 @@ runTable3()
 {
     Table3Result result;
     for (const workload::CorpusProgram &program : workload::corpus()) {
-        auto compiled = plc::compile(program.source);
+        auto compiled =
+            pipeline::sharedSession().compile(program.source);
         if (!compiled.ok()) {
             support::panic("compiling %s failed: %s", program.name,
                            compiled.error().str().c_str());
         }
-        workload::collectCcSavings(compiled.value().unit,
+        // The paper measures the code generator's output, before the
+        // peephole pass (CompileArtifact::unit).
+        workload::collectCcSavings(compiled.value()->unit,
                                    &result.savings);
     }
 
@@ -131,9 +185,10 @@ Table4Result
 runTable4()
 {
     Table4Result result;
-    for (const plc::ProgramAst &ast :
-         workload::parseCorpus(plc::Layout::WORD_ALLOCATED)) {
-        workload::collectBoolExprs(ast, &result.shape);
+    for (const workload::CorpusProgram &program : workload::corpus()) {
+        workload::collectBoolExprs(
+            parseOrDie(program, plc::Layout::WORD_ALLOCATED),
+            &result.shape);
     }
 
     TextTable t("Table 4: Boolean expressions");
@@ -266,14 +321,11 @@ RefPatternResult
 runRefPattern(plc::Layout layout, const char *title,
               const double paper[4])
 {
-    auto profile = workload::profileCorpus(layout);
-    if (!profile.ok())
-        support::panic("corpus profiling failed: %s",
-                       profile.error().str().c_str());
+    workload::ProfileResult profile = profileCorpusOrDie(layout);
 
     RefPatternResult result;
-    result.refs = profile.value().refs;
-    result.free_bandwidth = profile.value().freeBandwidth();
+    result.refs = profile.refs;
+    result.free_bandwidth = profile.freeBandwidth();
 
     const workload::RefPattern &r = result.refs;
     double total = static_cast<double>(r.total());
@@ -414,11 +466,8 @@ runTable10(double overhead)
                  "Paper penalty"});
     const char *paper_penalty[2] = {"9 - 11.8%", "7.7 - 14.6%"};
     for (int i = 0; i < 2; ++i) {
-        auto profile = workload::profileCorpus(layouts[i]);
-        if (!profile.ok())
-            support::panic("profiling failed: %s",
-                           profile.error().str().c_str());
-        const workload::RefPattern &r = profile.value().refs;
+        workload::ProfileResult profile = profileCorpusOrDie(layouts[i]);
+        const workload::RefPattern &r = profile.refs;
         double total = static_cast<double>(r.total());
 
         double word_cost =
@@ -471,46 +520,48 @@ runTable11()
         Table11Program entry;
         entry.name = program->name;
 
-        reorg::ReorgOptions none;
-        none.reorder = false;
-        none.pack = false;
-        none.fill_delay = false;
-        reorg::ReorgOptions reorder = none;
-        reorder.reorder = true;
-        reorg::ReorgOptions pack = reorder;
-        pack.pack = true;
-        reorg::ReorgOptions full = pack;
-        full.fill_delay = true;
+        pipeline::StageOptions none;
+        none.reorg.reorder = false;
+        none.reorg.pack = false;
+        none.reorg.fill_delay = false;
+        pipeline::StageOptions reorder = none;
+        reorder.reorg.reorder = true;
+        pipeline::StageOptions pack = reorder;
+        pack.reorg.pack = true;
+        pipeline::StageOptions full = pack;
+        full.reorg.fill_delay = true;
 
-        auto countStage = [&](const reorg::ReorgOptions &opts) {
-            auto exe = plc::buildExecutable(program->source,
-                                            plc::CompileOptions{}, opts);
+        // The four configurations share one compile artifact; only
+        // the reorganize stage re-runs per toggle.
+        auto countStage = [&](const pipeline::StageOptions &opts) {
+            auto exe = pipeline::sharedSession().reorganize(
+                program->source, opts);
             if (!exe.ok())
                 support::panic("building %s failed: %s", program->name,
                                exe.error().str().c_str());
             size_t instructions = 0;
-            for (const auto &item : exe.value().final_unit.items)
+            for (const auto &item : exe.value()->final_unit.items)
                 if (!item.is_data)
                     ++instructions;
-            return std::make_pair(instructions,
-                                  std::move(exe.value()));
+            return instructions;
         };
 
-        entry.none = countStage(none).first;
-        entry.reorganized = countStage(reorder).first;
-        entry.packed = countStage(pack).first;
-        auto [full_count, exe] = countStage(full);
-        entry.branch_delay = full_count;
+        entry.none = countStage(none);
+        entry.reorganized = countStage(reorder);
+        entry.packed = countStage(pack);
+        entry.branch_delay = countStage(full);
 
         // Correctness: the fully optimized program must still run.
-        sim::Machine machine;
-        machine.load(exe.program);
-        if (machine.cpu().run(200'000'000) != sim::StopReason::HALT) {
+        auto run =
+            pipeline::sharedSession().simulate(program->source, full);
+        if (!run.ok())
+            support::panic("running %s failed: %s", program->name,
+                           run.error().str().c_str());
+        if (run.value()->stop != sim::StopReason::HALT) {
             support::panic("optimized %s failed to run: %s",
-                           program->name,
-                           machine.cpu().errorMessage().c_str());
+                           program->name, run.value()->error.c_str());
         }
-        entry.output = machine.memory().consoleOutput();
+        entry.output = run.value()->console;
         result.programs.push_back(std::move(entry));
     }
 
@@ -600,25 +651,26 @@ runFigure4()
         "l3:\n"
         "    st r4, 5(r13)\n"
         "    halt\n";
-    auto unit = assembler::parse(fragment);
-    if (!unit.ok())
+    auto parsed = pipeline::sharedSession().assemble(fragment);
+    if (!parsed.ok())
         support::panic("figure 4 fragment: %s",
-                       unit.error().str().c_str());
+                       parsed.error().str().c_str());
+    const assembler::Unit &unit = parsed.value()->unit;
 
     std::string out = "Figure 4: reorganization, packing, and branch "
                       "delay\n\nLegal code:\n";
-    out += assembler::listUnit(unit.value());
+    out += assembler::listUnit(unit);
 
     reorg::ReorgOptions none;
     none.reorder = false;
     none.pack = false;
     none.fill_delay = false;
-    reorg::ReorgResult noops = reorg::reorganize(unit.value(), none);
+    reorg::ReorgResult noops = reorg::reorganize(unit, none);
     out += strprintf("\nWith no-ops (%zu words):\n",
                      noops.unit.items.size());
     out += assembler::listUnit(noops.unit);
 
-    reorg::ReorgResult full = reorg::reorganize(unit.value());
+    reorg::ReorgResult full = reorg::reorganize(unit);
     out += strprintf("\nReorganized (%zu words, %zu packed, "
                      "%zu slots filled):\n",
                      full.unit.items.size(), full.stats.packed_words,
@@ -636,20 +688,17 @@ runFreeCycles()
 {
     FreeCyclesResult result;
 
-    auto corpus_profile =
-        workload::profileCorpus(plc::Layout::WORD_ALLOCATED);
-    if (!corpus_profile.ok())
-        support::panic("corpus profiling failed");
-    result.corpus_free = corpus_profile.value().freeBandwidth();
+    result.corpus_free =
+        profileCorpusOrDie(plc::Layout::WORD_ALLOCATED).freeBandwidth();
 
     workload::ProfileResult merged;
     for (const workload::CorpusProgram *program :
          {&workload::fibonacciProgram(), &workload::puzzle0Program(),
           &workload::puzzle1Program()}) {
-        workload::ProfileResult p = profileOrDie(
+        pipeline::SimRef p = profileOrDie(
             program->name, program->source, plc::Layout::WORD_ALLOCATED);
-        merged.cycles += p.cycles;
-        merged.free_data_cycles += p.free_data_cycles;
+        merged.cycles += p->cycles;
+        merged.free_data_cycles += p->free_data_cycles;
     }
     result.benchmark_free = merged.freeBandwidth();
 

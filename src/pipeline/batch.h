@@ -1,0 +1,93 @@
+/**
+ * @file
+ * BatchRunner: a deliberately simple fixed-thread-pool fan-out.
+ *
+ * No work stealing, no futures, no task graph: `runAll` spawns
+ * min(jobs, items) threads that claim item indices from one atomic
+ * counter and write each result into its input-ordered slot. That is
+ * enough for this repo's workloads (per-program toolchain chains of
+ * roughly equal cost) and keeps the concurrency story auditable: the
+ * only shared mutable state is the claim counter, per-slot results
+ * (each touched by exactly one thread), and whatever the callback
+ * itself shares — for pipeline work that is a `Session`, whose cache
+ * is internally synchronized.
+ *
+ * Determinism: results are collected by input index, so the returned
+ * vector is element-wise identical to a serial run regardless of
+ * scheduling. Exceptions are captured per item and the lowest-index
+ * one is rethrown after all threads join.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mips::pipeline {
+
+class BatchRunner
+{
+  public:
+    /** `jobs == 0` means one (serial). */
+    explicit BatchRunner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Apply `fn(item, index)` to every item; returns the results in
+     * input order. The result type must be default-constructible and
+     * movable. `fn` must be safe to call concurrently when jobs > 1.
+     */
+    template <typename In, typename Fn>
+    auto
+    runAll(const std::vector<In> &items, Fn &&fn) const
+        -> std::vector<
+            std::decay_t<std::invoke_result_t<Fn &, const In &, size_t>>>
+    {
+        using Out =
+            std::decay_t<std::invoke_result_t<Fn &, const In &, size_t>>;
+        std::vector<Out> results(items.size());
+        if (items.empty())
+            return results;
+
+        size_t threads = std::min<size_t>(jobs_, items.size());
+        if (threads <= 1) {
+            for (size_t i = 0; i < items.size(); ++i)
+                results[i] = fn(items[i], i);
+            return results;
+        }
+
+        std::atomic<size_t> next{0};
+        std::vector<std::exception_ptr> errors(items.size());
+        auto worker = [&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= items.size())
+                    return;
+                try {
+                    results[i] = fn(items[i], i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+        for (std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+        return results;
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace mips::pipeline

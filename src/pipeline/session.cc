@@ -1,0 +1,502 @@
+#include "pipeline/session.h"
+
+#include <chrono>
+#include <optional>
+
+#include "pipeline/batch.h"
+#include "plc/parser.h"
+#include "plc/sema.h"
+#include "sim/machine.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace mips::pipeline {
+
+using support::strprintf;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+// Option serializations for cache keys. Every field that can change a
+// stage's artifact must appear here; adding a field to an options
+// struct means extending its key.
+
+std::string
+keyOf(const plc::CompileOptions &o)
+{
+    return strprintf("L%d;S%u", static_cast<int>(o.layout), o.stack_top);
+}
+
+unsigned
+bugBits(const reorg::ReorgBugs &b)
+{
+    return (b.pack_dependent << 0) | (b.hoist_blind << 1) |
+           (b.alias_blind << 2) | (b.slot_overwritten_def << 3) |
+           (b.drop_load_noop << 4) | (b.drop_branch_noop << 5) |
+           (b.retarget_same_target << 6) | (b.dup_skip_second << 7);
+}
+
+std::string
+keyOf(const reorg::ReorgOptions &o)
+{
+    return strprintf("r%dp%df%d;V%u;B%02x", o.reorder, o.pack,
+                     o.fill_delay, o.alias.volatile_base,
+                     bugBits(o.bugs));
+}
+
+std::string
+keyOf(const verify::VerifyOptions &o)
+{
+    return strprintf("l%d;A%04x", o.lint,
+                     static_cast<unsigned>(o.assume_initialized));
+}
+
+std::string
+keyOf(const SimOptions &o)
+{
+    return strprintf("C%llu;P%d",
+                     static_cast<unsigned long long>(o.max_cycles),
+                     o.profile);
+}
+
+} // namespace
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+    case Stage::PARSE: return "parse";
+    case Stage::COMPILE: return "compile";
+    case Stage::ASSEMBLE: return "assemble";
+    case Stage::REORGANIZE: return "reorganize";
+    case Stage::HAZARD_VERIFY: return "hazard-verify";
+    case Stage::TRANSLATION_VALIDATE: return "translation-validate";
+    case Stage::SIMULATE: return "simulate";
+    }
+    return "?";
+}
+
+uint64_t
+PipelineStats::hits() const
+{
+    uint64_t n = 0;
+    for (const StageCounters &c : stage)
+        n += c.hits;
+    return n;
+}
+
+uint64_t
+PipelineStats::misses() const
+{
+    uint64_t n = 0;
+    for (const StageCounters &c : stage)
+        n += c.misses;
+    return n;
+}
+
+double
+PipelineStats::missMs() const
+{
+    double ms = 0;
+    for (const StageCounters &c : stage)
+        ms += c.miss_ms;
+    return ms;
+}
+
+std::string
+PipelineStats::table() const
+{
+    support::TextTable t("Pipeline session: per-stage cache counters");
+    t.setHeader({"Stage", "Hits", "Misses", "Hit rate", "Miss ms"});
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const StageCounters &c = stage[i];
+        uint64_t total = c.hits + c.misses;
+        t.addRow({stageName(static_cast<Stage>(i)),
+                  strprintf("%llu",
+                            static_cast<unsigned long long>(c.hits)),
+                  strprintf("%llu",
+                            static_cast<unsigned long long>(c.misses)),
+                  total ? support::TextTable::pct(
+                              static_cast<double>(c.hits) /
+                              static_cast<double>(total))
+                        : "-",
+                  support::TextTable::num(c.miss_ms, 1)});
+    }
+    t.addSeparator();
+    uint64_t total = hits() + misses();
+    t.addRow({"total",
+              strprintf("%llu", static_cast<unsigned long long>(hits())),
+              strprintf("%llu",
+                        static_cast<unsigned long long>(misses())),
+              total ? support::TextTable::pct(
+                          static_cast<double>(hits()) /
+                          static_cast<double>(total))
+                    : "-",
+              support::TextTable::num(missMs(), 1)});
+    return t.render();
+}
+
+// ------------------------------------------------------ Session::Impl
+
+struct Session::Impl
+{
+    /**
+     * One cache entry. `result` is written exactly once, under the
+     * session lock, after which `ready` flips and waiters wake; from
+     * then on the entry is immutable and may be read without the lock.
+     */
+    template <typename T>
+    struct Slot
+    {
+        bool ready = false;
+        std::optional<support::Result<std::shared_ptr<const T>>> result;
+    };
+
+    template <typename T>
+    using Map = std::unordered_map<std::string,
+                                   std::shared_ptr<Slot<T>>>;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    StageCounters counters[kStageCount];
+
+    Map<ParseArtifact> parse_cache;
+    Map<CompileArtifact> compile_cache;
+    Map<AssembleArtifact> assemble_cache;
+    Map<ReorgArtifact> reorg_cache;
+    Map<VerifyArtifact> verify_cache;
+    Map<TvArtifact> tv_cache;
+    Map<SimArtifact> sim_cache;
+
+    /**
+     * Return the artifact for `key`, computing it with `fn` on a
+     * miss. Concurrent requests for the same key wait for the first
+     * computation; `fn` runs with no lock held, so stages for
+     * different keys (and nested upstream-stage calls) proceed in
+     * parallel.
+     */
+    template <typename T, typename Fn>
+    support::Result<std::shared_ptr<const T>>
+    getOrCompute(Map<T> &map, Stage stage, const std::string &key,
+                 Fn &&fn)
+    {
+        std::shared_ptr<Slot<T>> slot;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            auto [it, inserted] = map.try_emplace(key, nullptr);
+            if (!inserted) {
+                slot = it->second;
+                cv.wait(lock, [&] { return slot->ready; });
+                ++counters[static_cast<size_t>(stage)].hits;
+                return *slot->result;
+            }
+            slot = std::make_shared<Slot<T>>();
+            it->second = slot;
+        }
+
+        Clock::time_point start = Clock::now();
+        support::Result<std::shared_ptr<const T>> result = [&] {
+            try {
+                return fn();
+            } catch (...) {
+                // Never leave waiters hung: publish an error, then
+                // rethrow for the caller.
+                std::lock_guard<std::mutex> lock(mu);
+                slot->result =
+                    support::makeError("pipeline stage threw");
+                slot->ready = true;
+                cv.notify_all();
+                throw;
+            }
+        }();
+        double ms = msSince(start);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            slot->result = std::move(result);
+            slot->ready = true;
+            StageCounters &c = counters[static_cast<size_t>(stage)];
+            ++c.misses;
+            c.miss_ms += ms;
+        }
+        cv.notify_all();
+        return *slot->result;
+    }
+};
+
+Session::Session() : impl_(std::make_unique<Impl>()) {}
+Session::~Session() = default;
+
+PipelineStats
+Session::stats() const
+{
+    PipelineStats s;
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (size_t i = 0; i < kStageCount; ++i)
+        s.stage[i] = impl_->counters[i];
+    return s;
+}
+
+void
+Session::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->parse_cache.clear();
+    impl_->compile_cache.clear();
+    impl_->assemble_cache.clear();
+    impl_->reorg_cache.clear();
+    impl_->verify_cache.clear();
+    impl_->tv_cache.clear();
+    impl_->sim_cache.clear();
+    for (StageCounters &c : impl_->counters)
+        c = StageCounters{};
+}
+
+// ------------------------------------------------------------ stages
+
+support::Result<ParseRef>
+Session::parse(std::string_view source, plc::Layout layout)
+{
+    std::string key = strprintf("L%d\n", static_cast<int>(layout));
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->parse_cache, Stage::PARSE, key,
+        [&]() -> support::Result<ParseRef> {
+            auto ast = plc::parseProgram(source);
+            if (!ast.ok())
+                return ast.error();
+            auto artifact = std::make_shared<ParseArtifact>();
+            artifact->ast = ast.take();
+            auto sema = plc::analyze(artifact->ast, layout);
+            if (!sema.ok())
+                return sema.error();
+            return ParseRef(artifact);
+        });
+}
+
+support::Result<CompileRef>
+Session::compile(std::string_view source, const StageOptions &options)
+{
+    std::string key = keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->compile_cache, Stage::COMPILE, key,
+        [&]() -> support::Result<CompileRef> {
+            auto compiled = plc::compile(source, options.compile);
+            if (!compiled.ok())
+                return compiled.error();
+            auto artifact = std::make_shared<CompileArtifact>();
+            artifact->unit = compiled.value().unit;
+            artifact->asm_text = std::move(compiled.value().asm_text);
+            artifact->legal_unit = std::move(compiled.value().unit);
+            artifact->peephole =
+                plc::eliminateRedundantLoads(&artifact->legal_unit);
+            return CompileRef(artifact);
+        });
+}
+
+support::Result<AssembleRef>
+Session::assemble(std::string_view asm_text)
+{
+    std::string key(asm_text);
+    return impl_->getOrCompute(
+        impl_->assemble_cache, Stage::ASSEMBLE, key,
+        [&]() -> support::Result<AssembleRef> {
+            auto unit = assembler::parse(asm_text);
+            if (!unit.ok())
+                return unit.error();
+            auto artifact = std::make_shared<AssembleArtifact>();
+            artifact->unit = unit.take();
+            return AssembleRef(artifact);
+        });
+}
+
+support::Result<ReorgRef>
+Session::reorganize(std::string_view source, const StageOptions &options)
+{
+    auto compiled = compile(source, options);
+    if (!compiled.ok())
+        return compiled.error();
+    std::string key =
+        keyOf(options.reorg) + "|" + keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->reorg_cache, Stage::REORGANIZE, key,
+        [&]() -> support::Result<ReorgRef> {
+            const CompileRef &dep = compiled.value();
+            reorg::ReorgResult result =
+                reorg::reorganize(dep->legal_unit, options.reorg);
+            auto artifact = std::make_shared<ReorgArtifact>();
+            artifact->compile = dep;
+            artifact->stats = result.stats;
+            artifact->hints = std::move(result.hints);
+            artifact->final_unit = std::move(result.unit);
+            auto program = assembler::link(artifact->final_unit);
+            if (!program.ok())
+                return program.error();
+            artifact->program = program.take();
+            return ReorgRef(artifact);
+        });
+}
+
+support::Result<VerifyRef>
+Session::hazardVerify(std::string_view source,
+                      const StageOptions &options)
+{
+    auto reorg = reorganize(source, options);
+    if (!reorg.ok())
+        return reorg.error();
+    std::string key = keyOf(options.verify) + "|" +
+                      keyOf(options.reorg) + "|" +
+                      keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->verify_cache, Stage::HAZARD_VERIFY, key,
+        [&]() -> support::Result<VerifyRef> {
+            const ReorgRef &dep = reorg.value();
+            auto artifact = std::make_shared<VerifyArtifact>();
+            artifact->reorg = dep;
+            artifact->report = verify::verifyReorganization(
+                dep->compile->legal_unit, dep->final_unit,
+                options.verify);
+            return VerifyRef(artifact);
+        });
+}
+
+support::Result<TvRef>
+Session::translationValidate(std::string_view source,
+                             const StageOptions &options)
+{
+    auto reorg = reorganize(source, options);
+    if (!reorg.ok())
+        return reorg.error();
+    std::string key = strprintf("M%zu|", options.tv_limits.max_steps) +
+                      keyOf(options.reorg) + "|" +
+                      keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->tv_cache, Stage::TRANSLATION_VALIDATE, key,
+        [&]() -> support::Result<TvRef> {
+            const ReorgRef &dep = reorg.value();
+            verify::TvOptions tvopts;
+            tvopts.alias = options.reorg.alias;
+            tvopts.limits = options.tv_limits;
+            auto artifact = std::make_shared<TvArtifact>();
+            artifact->reorg = dep;
+            artifact->report = verify::validateTranslation(
+                dep->compile->legal_unit, dep->final_unit, dep->hints,
+                tvopts);
+            return TvRef(artifact);
+        });
+}
+
+support::Result<SimRef>
+Session::simulate(std::string_view source, const StageOptions &options)
+{
+    auto reorg = reorganize(source, options);
+    if (!reorg.ok())
+        return reorg.error();
+    std::string key = keyOf(options.sim) + "|" + keyOf(options.reorg) +
+                      "|" + keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->sim_cache, Stage::SIMULATE, key,
+        [&]() -> support::Result<SimRef> {
+            const ReorgRef &dep = reorg.value();
+            sim::Machine machine;
+            machine.load(dep->program);
+            machine.cpu().enableProfiling(options.sim.profile);
+            auto artifact = std::make_shared<SimArtifact>();
+            artifact->reorg = dep;
+            artifact->stop = machine.cpu().run(options.sim.max_cycles);
+            if (artifact->stop != sim::StopReason::HALT)
+                artifact->error = machine.cpu().errorMessage();
+            artifact->console = machine.memory().consoleOutput();
+            artifact->cycles = machine.cpu().stats().cycles;
+            artifact->free_data_cycles =
+                machine.cpu().stats().free_data_cycles;
+            if (options.sim.profile) {
+                workload::accumulateRefs(dep->final_unit,
+                                         dep->program.origin,
+                                         machine.cpu(),
+                                         &artifact->refs);
+            }
+            return SimRef(artifact);
+        });
+}
+
+Session &
+sharedSession()
+{
+    static Session session;
+    return session;
+}
+
+// --------------------------------------------------- batched chains
+
+std::vector<ChainResult>
+runAll(Session &session,
+       const std::vector<workload::CorpusProgram> &corpus,
+       const ChainSpec &stages, const StageOptions &options,
+       unsigned jobs)
+{
+    BatchRunner runner(jobs);
+    return runner.runAll(
+        corpus,
+        [&](const workload::CorpusProgram &program, size_t) {
+            ChainResult r;
+            r.name = program.name;
+            Clock::time_point start = Clock::now();
+            auto fail = [&](const support::Error &error) {
+                r.error = error.str();
+                r.elapsed_ms = msSince(start);
+                return r;
+            };
+
+            auto compiled = session.compile(program.source, options);
+            if (!compiled.ok())
+                return fail(compiled.error());
+            r.compile = compiled.value();
+
+            bool need_reorg = stages.reorganize ||
+                              stages.hazard_verify ||
+                              stages.translation_validate ||
+                              stages.simulate;
+            if (need_reorg) {
+                auto reorg = session.reorganize(program.source, options);
+                if (!reorg.ok())
+                    return fail(reorg.error());
+                r.reorg = reorg.value();
+            }
+            if (stages.hazard_verify) {
+                auto v = session.hazardVerify(program.source, options);
+                if (!v.ok())
+                    return fail(v.error());
+                r.verify = v.value();
+            }
+            if (stages.translation_validate) {
+                auto tv = session.translationValidate(program.source,
+                                                      options);
+                if (!tv.ok())
+                    return fail(tv.error());
+                r.tv = tv.value();
+            }
+            if (stages.simulate) {
+                auto sim = session.simulate(program.source, options);
+                if (!sim.ok())
+                    return fail(sim.error());
+                r.sim = sim.value();
+            }
+            r.elapsed_ms = msSince(start);
+            return r;
+        });
+}
+
+} // namespace mips::pipeline

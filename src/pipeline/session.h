@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Pipeline sessions: the toolchain as composable, cached stages.
+ *
+ * Every multi-step consumer in this repo used to hand-roll the same
+ * chain — `plc::compile` → peephole → `reorg::reorganize` → link →
+ * verify / translation-validate / simulate — serially and from
+ * scratch, once per experiment driver, bench binary, and CLI run. A
+ * `Session` models that chain as explicitly-dependent stages
+ *
+ *   Parse → Compile → Assemble → Reorganize → HazardVerify
+ *                                → TranslationValidate → Simulate
+ *
+ * each returning its artifact through a content-keyed cache (keyed on
+ * the source text plus every stage option that can change the
+ * artifact), so e.g. the Table 3 and Table 11 drivers compiling the
+ * same corpus program share one compile result instead of recompiling
+ * it per table. Artifacts are immutable and handed out as
+ * `shared_ptr<const T>`; a cache hit is pointer-identical to the cold
+ * run that produced it. Errors are cached too: recoverable input
+ * failures (bad source) are remembered and replayed, never recomputed.
+ *
+ * Sessions are thread-safe. Concurrent requests for the same key
+ * block on the first computation instead of duplicating it; requests
+ * for different keys compute in parallel (the cache lock is never
+ * held while a stage runs). `runAll` fans a corpus out across a
+ * fixed-size `BatchRunner` thread pool with deterministic,
+ * input-ordered result collection — parallel results are element-wise
+ * identical to a serial run.
+ *
+ * Per-stage hit/miss counts and miss wall time are recorded in a
+ * `PipelineStats`, renderable as a `support::TextTable` for the bench
+ * binaries and CLI observability.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "asm/unit.h"
+#include "plc/ast.h"
+#include "plc/codegen.h"
+#include "plc/optimize.h"
+#include "reorg/reorganizer.h"
+#include "sim/cpu.h"
+#include "support/result.h"
+#include "verify/tv.h"
+#include "verify/verify.h"
+#include "workload/analyzers.h"
+#include "workload/corpus.h"
+
+namespace mips::pipeline {
+
+// ----------------------------------------------------------- options
+
+/** Simulate-stage knobs. */
+struct SimOptions
+{
+    uint64_t max_cycles = 200'000'000;
+    /** Collect logical data-reference counts (Tables 7/8/10). */
+    bool profile = false;
+};
+
+/**
+ * The option bundle for one chain. Each stage keys its cache entry on
+ * the sub-options that can change its artifact (plus those of every
+ * stage it depends on), so toggling e.g. `reorg.pack` misses the
+ * reorganize cache but still hits the compile cache.
+ */
+struct StageOptions
+{
+    plc::CompileOptions compile;
+    reorg::ReorgOptions reorg;
+    verify::VerifyOptions verify;
+    /** Symbolic-execution limits for TranslationValidate (the alias
+     *  discipline is taken from `reorg.alias`, which must match). */
+    verify::SymLimits tv_limits;
+    SimOptions sim;
+};
+
+// --------------------------------------------------------- artifacts
+
+/** Parse: Pascal-like source → analyzed AST (Tables 1 and 4). */
+struct ParseArtifact
+{
+    plc::ProgramAst ast; ///< analyzed in place under the keyed layout
+};
+
+/** Compile: Pascal-like source → legal code. */
+struct CompileArtifact
+{
+    assembler::Unit unit;       ///< as emitted (pre-peephole)
+    assembler::Unit legal_unit; ///< peephole-optimized legal code
+    plc::PeepholeStats peephole;
+    std::string asm_text;       ///< generated assembly source
+};
+
+/** Assemble: assembly text → parsed unit (no link; labels may be
+ *  unresolved, which is itself a verifiable condition). */
+struct AssembleArtifact
+{
+    assembler::Unit unit;
+};
+
+/** Reorganize: legal code → pipeline-correct unit + linked image. */
+struct ReorgArtifact
+{
+    std::shared_ptr<const CompileArtifact> compile; ///< its input
+    assembler::Unit final_unit;
+    assembler::Program program; ///< linked, ready to load
+    reorg::ReorgStats stats;
+    std::vector<reorg::DupHint> hints; ///< scheme-2 provenance
+};
+
+/** HazardVerify: the software-interlock contract, statically. */
+struct VerifyArtifact
+{
+    std::shared_ptr<const ReorgArtifact> reorg;
+    verify::VerifyReport report;
+};
+
+/** TranslationValidate: symbolic proof of equivalence. */
+struct TvArtifact
+{
+    std::shared_ptr<const ReorgArtifact> reorg;
+    verify::VerifyReport report;
+};
+
+/** Simulate: one run on the pipeline machine. */
+struct SimArtifact
+{
+    std::shared_ptr<const ReorgArtifact> reorg;
+    sim::StopReason stop = sim::StopReason::RUNNING;
+    std::string error;   ///< CPU error message when stop == SIM_ERROR
+    std::string console;
+    uint64_t cycles = 0;
+    uint64_t free_data_cycles = 0;
+    /** Logical data references (only when SimOptions::profile). */
+    workload::RefPattern refs;
+
+    /** Fraction of data bandwidth left idle. */
+    double
+    freeBandwidth() const
+    {
+        return cycles ? static_cast<double>(free_data_cycles) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+using ParseRef = std::shared_ptr<const ParseArtifact>;
+using CompileRef = std::shared_ptr<const CompileArtifact>;
+using AssembleRef = std::shared_ptr<const AssembleArtifact>;
+using ReorgRef = std::shared_ptr<const ReorgArtifact>;
+using VerifyRef = std::shared_ptr<const VerifyArtifact>;
+using TvRef = std::shared_ptr<const TvArtifact>;
+using SimRef = std::shared_ptr<const SimArtifact>;
+
+// ------------------------------------------------------------- stats
+
+/** The cached stages, in dependency order. */
+enum class Stage
+{
+    PARSE,
+    COMPILE,
+    ASSEMBLE,
+    REORGANIZE,
+    HAZARD_VERIFY,
+    TRANSLATION_VALIDATE,
+    SIMULATE,
+};
+
+constexpr size_t kStageCount = 7;
+
+/** Stage name for tables and logs. */
+const char *stageName(Stage stage);
+
+/** Counters for one stage of one session. */
+struct StageCounters
+{
+    uint64_t hits = 0;   ///< artifact served from the cache
+    uint64_t misses = 0; ///< artifact computed (includes errors)
+    double miss_ms = 0;  ///< wall time spent computing, milliseconds
+};
+
+/** Snapshot of a session's per-stage counters. */
+struct PipelineStats
+{
+    StageCounters stage[kStageCount];
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    double missMs() const;
+
+    /** Render as a paper-style text table (support::TextTable). */
+    std::string table() const;
+};
+
+// ----------------------------------------------------------- session
+
+/**
+ * One cached toolchain instance. Methods are safe to call from any
+ * number of threads; artifacts are immutable once returned.
+ */
+class Session
+{
+  public:
+    Session();
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Parse + analyze Pascal-like source under a layout. */
+    support::Result<ParseRef> parse(std::string_view source,
+                                    plc::Layout layout);
+
+    /** Compile Pascal-like source to (peephole-optimized) legal code. */
+    support::Result<CompileRef>
+    compile(std::string_view source,
+            const StageOptions &options = StageOptions{});
+
+    /** Parse assembly text into a unit (no link). */
+    support::Result<AssembleRef> assemble(std::string_view asm_text);
+
+    /** Compile, reorganize, and link. */
+    support::Result<ReorgRef>
+    reorganize(std::string_view source,
+               const StageOptions &options = StageOptions{});
+
+    /** Statically verify the reorganization (hazards + lints). */
+    support::Result<VerifyRef>
+    hazardVerify(std::string_view source,
+                 const StageOptions &options = StageOptions{});
+
+    /** Symbolically prove the reorganized unit equivalent. */
+    support::Result<TvRef>
+    translationValidate(std::string_view source,
+                        const StageOptions &options = StageOptions{});
+
+    /** Run the linked program on the pipeline machine. */
+    support::Result<SimRef>
+    simulate(std::string_view source,
+             const StageOptions &options = StageOptions{});
+
+    /** Snapshot the per-stage counters. */
+    PipelineStats stats() const;
+
+    /** Drop every cached artifact and zero the counters. */
+    void clear();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The process-wide session shared by the experiment drivers and the
+ * bench binaries, so printing a table and then benchmarking it reuses
+ * the same compile/simulate artifacts instead of redoing them.
+ */
+Session &sharedSession();
+
+// -------------------------------------------------- batched chains
+
+/** Which stages a chain run executes. Compile always runs; the
+ *  verify/validate/simulate stages imply reorganize. */
+struct ChainSpec
+{
+    bool reorganize = true;
+    bool hazard_verify = false;
+    bool translation_validate = false;
+    bool simulate = false;
+};
+
+/** Outcome of one program's chain. Refs are null for stages that
+ *  were not requested or not reached. */
+struct ChainResult
+{
+    std::string name;
+    CompileRef compile;
+    ReorgRef reorg;
+    VerifyRef verify;
+    TvRef tv;
+    SimRef sim;
+    /** First failing stage's message; empty on success. Note that a
+     *  failing *report* (hazard or TV errors) is a successful chain —
+     *  the artifact carries the diagnostics. */
+    std::string error;
+    double elapsed_ms = 0; ///< wall time of this chain's stage calls
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Run every corpus program through the requested stages on a
+ * fixed-size thread pool (`jobs`), collecting results in input order.
+ * Deterministic: the result vector is element-wise identical to a
+ * `jobs == 1` run (elapsed_ms aside).
+ */
+std::vector<ChainResult>
+runAll(Session &session,
+       const std::vector<workload::CorpusProgram> &corpus,
+       const ChainSpec &stages, const StageOptions &options,
+       unsigned jobs);
+
+} // namespace mips::pipeline

@@ -14,25 +14,34 @@
  *                                each reorganized unit (add --tv to also
  *                                prove each one equivalent)
  *
- * Options: --json (machine-readable report with per-unit wall time),
- * --no-lint (hazard checks only), --quiet (status only), --strict
- * (promote notes — e.g. TV090 "not proven" — to errors), --fail-fast
- * (stop --corpus at the first failing unit), --no-reorder / --no-pack /
- * --no-fill-delay (toggle individual reorganizer stages, for the
- * per-stage validation matrix in scripts/check.sh).
+ * Options: --jobs N (verify corpus units on N threads; diagnostics are
+ * buffered per unit and emitted in input order, so the output is
+ * byte-identical to --jobs 1 — modulo wall-clock fields, which
+ * --no-time suppresses for the determinism gate), --json
+ * (machine-readable report with per-unit wall time), --no-lint (hazard
+ * checks only), --quiet (status only), --strict (promote notes — e.g.
+ * TV090 "not proven" — to errors), --fail-fast (stop --corpus at the
+ * first failing unit), --no-reorder / --no-pack / --no-fill-delay
+ * (toggle individual reorganizer stages, for the per-stage validation
+ * matrix in scripts/check.sh).
+ *
+ * The corpus runs through a pipeline::Session, so repeated stages
+ * share cached artifacts, and a pipeline::BatchRunner fans units
+ * across the worker threads with deterministic result collection.
  *
  * Exit status: 0 = no error-severity findings, 1 = at least one error,
  * 2 = usage or input failure.
  */
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "asm/assembler.h"
-#include "plc/driver.h"
+#include "pipeline/session.h"
 #include "reorg/reorganizer.h"
 #include "support/logging.h"
 #include "verify/tv.h"
@@ -50,6 +59,8 @@ struct CliOptions
     bool quiet = false;
     bool strict = false;
     bool fail_fast = false;
+    bool no_time = false;
+    unsigned jobs = 1;
     mips::verify::VerifyOptions verify;
     mips::reorg::ReorgOptions reorg_options;
     std::string file;
@@ -62,11 +73,14 @@ usage(FILE *to)
                  "usage: mipsverify [--reorg] [--tv] [--json] [--no-lint] "
                  "[--strict]\n"
                  "                  [--no-reorder] [--no-pack] "
-                 "[--no-fill-delay] [--quiet] file.s\n"
-                 "       mipsverify --corpus [--tv] [--fail-fast] "
-                 "[--json] [--no-lint]\n"
-                 "                  [--strict] [--no-reorder] [--no-pack] "
-                 "[--no-fill-delay] [--quiet]\n");
+                 "[--no-fill-delay] [--quiet]\n"
+                 "                  [--no-time] file.s\n"
+                 "       mipsverify --corpus [--jobs N] [--tv] "
+                 "[--fail-fast] [--json]\n"
+                 "                  [--no-lint] [--strict] [--no-reorder] "
+                 "[--no-pack]\n"
+                 "                  [--no-fill-delay] [--quiet] "
+                 "[--no-time]\n");
 }
 
 using Clock = std::chrono::steady_clock;
@@ -91,26 +105,33 @@ mergeReport(mips::verify::VerifyReport *into,
     into->notes += from.notes;
 }
 
-/** Print (unless quiet) and report whether the unit verified clean. */
+/**
+ * Render one unit's report into `out` (unless quiet) and report
+ * whether the unit verified clean. Buffering into a string (instead
+ * of printing directly) is what lets --jobs N emit units in input
+ * order.
+ */
 bool
 emit(const CliOptions &cli, mips::verify::VerifyReport report,
      const mips::assembler::Unit &unit, const std::string &name,
-     double elapsed_ms)
+     double elapsed_ms, std::string *out)
 {
+    using mips::support::strprintf;
     if (cli.strict)
         mips::verify::promoteNotesToErrors(&report);
     if (cli.json) {
-        std::printf("%s\n",
-                    mips::verify::reportJson(report, name, elapsed_ms)
-                        .c_str());
+        *out += mips::verify::reportJson(
+            report, name, cli.no_time ? -1.0 : elapsed_ms);
+        *out += "\n";
     } else if (!cli.quiet) {
-        std::string text = mips::verify::reportText(report, unit, name);
-        if (!text.empty())
-            std::fputs(text.c_str(), stdout);
-        std::printf("%s: %zu error(s), %zu warning(s), %zu note(s) "
-                    "[%.1f ms]\n",
-                    name.c_str(), report.errors, report.warnings,
-                    report.notes, elapsed_ms);
+        *out += mips::verify::reportText(report, unit, name);
+        *out += strprintf("%s: %zu error(s), %zu warning(s), "
+                          "%zu note(s)",
+                          name.c_str(), report.errors, report.warnings,
+                          report.notes);
+        if (!cli.no_time)
+            *out += strprintf(" [%.1f ms]", elapsed_ms);
+        *out += "\n";
     }
     return report.clean();
 }
@@ -124,36 +145,62 @@ runCorpus(const CliOptions &cli)
     programs.push_back(mips::workload::puzzle0Program());
     programs.push_back(mips::workload::puzzle1Program());
 
+    mips::pipeline::Session session;
+    mips::pipeline::StageOptions options;
+    options.reorg = cli.reorg_options;
+    options.verify = cli.verify;
+    mips::pipeline::ChainSpec spec;
+    spec.hazard_verify = true;
+    spec.translation_validate = cli.tv;
+
+    // Fail-fast still computes in parallel waves of `jobs` units, but
+    // emission stops at the first failing unit, so the output matches
+    // a serial fail-fast run byte for byte.
+    size_t wave = cli.fail_fast
+                      ? std::max<size_t>(cli.jobs, 1)
+                      : programs.size();
+
     size_t failed = 0;
     size_t ran = 0;
-    for (const auto &program : programs) {
-        Clock::time_point start = Clock::now();
-        ++ran;
-        auto built = mips::plc::buildExecutable(
-            program.source, mips::plc::CompileOptions{}, cli.reorg_options);
-        if (!built.ok()) {
-            std::fprintf(stderr, "mipsverify: %s: compile failed: %s\n",
-                         program.name, built.error().message.c_str());
-            ++failed;
-            if (cli.fail_fast)
-                break;
-            continue;
-        }
-        const mips::plc::Executable &exe = built.value();
-        auto report = mips::verify::verifyReorganization(
-            exe.legal_unit, exe.final_unit, cli.verify);
-        if (cli.tv) {
-            mips::verify::TvOptions tvopts;
-            tvopts.alias = cli.reorg_options.alias;
-            mergeReport(&report, mips::verify::validateTranslation(
-                                     exe.legal_unit, exe.final_unit,
-                                     exe.tv_hints, tvopts));
-        }
-        if (!emit(cli, report, exe.final_unit, program.name,
-                  msSince(start))) {
-            ++failed;
-            if (cli.fail_fast)
-                break;
+    bool stopped = false;
+    for (size_t base = 0; base < programs.size() && !stopped;
+         base += wave) {
+        std::vector<mips::workload::CorpusProgram> slice(
+            programs.begin() + static_cast<ptrdiff_t>(base),
+            programs.begin() +
+                static_cast<ptrdiff_t>(
+                    std::min(base + wave, programs.size())));
+        std::vector<mips::pipeline::ChainResult> results =
+            mips::pipeline::runAll(session, slice, spec, options,
+                                   cli.jobs);
+        for (const mips::pipeline::ChainResult &r : results) {
+            ++ran;
+            if (!r.ok()) {
+                std::fprintf(stderr,
+                             "mipsverify: %s: compile failed: %s\n",
+                             r.name.c_str(), r.error.c_str());
+                ++failed;
+                if (cli.fail_fast) {
+                    stopped = true;
+                    break;
+                }
+                continue;
+            }
+            mips::verify::VerifyReport report = r.verify->report;
+            if (cli.tv)
+                mergeReport(&report, r.tv->report);
+            std::string out;
+            bool clean = emit(cli, std::move(report),
+                              r.reorg->final_unit, r.name, r.elapsed_ms,
+                              &out);
+            std::fputs(out.c_str(), stdout);
+            if (!clean) {
+                ++failed;
+                if (cli.fail_fast) {
+                    stopped = true;
+                    break;
+                }
+            }
         }
     }
     if (!cli.quiet) {
@@ -185,13 +232,13 @@ runFile(const CliOptions &cli)
         source = buf.str();
     }
 
-    auto parsed = mips::assembler::parse(source);
+    auto parsed = mips::pipeline::sharedSession().assemble(source);
     if (!parsed.ok()) {
         std::fprintf(stderr, "mipsverify: %s: %s\n", cli.file.c_str(),
                      parsed.error().message.c_str());
         return 2;
     }
-    mips::assembler::Unit unit = parsed.take();
+    const mips::assembler::Unit &unit = parsed.value()->unit;
 
     Clock::time_point start = Clock::now();
     mips::verify::VerifyReport report;
@@ -214,8 +261,11 @@ runFile(const CliOptions &cli)
     } else {
         report = mips::verify::verifyUnit(unit, cli.verify);
     }
-    return emit(cli, report, *report_unit, cli.file, msSince(start)) ? 0
-                                                                     : 1;
+    std::string out;
+    bool clean = emit(cli, std::move(report), *report_unit, cli.file,
+                      msSince(start), &out);
+    std::fputs(out.c_str(), stdout);
+    return clean ? 0 : 1;
 }
 
 } // namespace
@@ -249,6 +299,29 @@ main(int argc, char **argv)
             cli.reorg_options.fill_delay = false;
         } else if (arg == "--quiet") {
             cli.quiet = true;
+        } else if (arg == "--no-time") {
+            cli.no_time = true;
+        } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+            const char *value = nullptr;
+            if (arg == "--jobs") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --jobs needs a count\n");
+                    return 2;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.c_str() + 7;
+            }
+            char *end = nullptr;
+            long n = std::strtol(value, &end, 10);
+            if (end == value || *end != '\0' || n < 1 || n > 1024) {
+                std::fprintf(stderr,
+                             "mipsverify: bad --jobs count '%s'\n",
+                             value);
+                return 2;
+            }
+            cli.jobs = static_cast<unsigned>(n);
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;

@@ -436,6 +436,16 @@ ExprArena::str(ExprRef r, int max_depth) const
     auto rec = [this, max_depth](ExprRef x) {
         return str(x, max_depth - 1);
     };
+    // Concatenation goes through append() rather than operator+ on
+    // string temporaries: GCC 12's -Wrestrict misfires on the inlined
+    // `const char * + std::string&&` overload at -O3 (PR 105651), and
+    // this TU builds with -Werror.
+    auto cat = [](std::initializer_list<std::string> parts) {
+        std::string out;
+        for (const std::string &part : parts)
+            out += part;
+        return out;
+    };
     switch (n.op) {
       case ExprOp::CONST:
         return n.value < 1024
@@ -452,41 +462,43 @@ ExprArena::str(ExprRef r, int max_depth) const
       case ExprOp::LABEL_ADDR:
         for (const auto &[name, id] : label_ids_) {
             if (id == n.value)
-                return "&" + name;
+                return cat({"&", name});
         }
         return "&?";
-      case ExprOp::ADD: return "(" + rec(n.a) + " + " + rec(n.b) + ")";
-      case ExprOp::SUB: return "(" + rec(n.a) + " - " + rec(n.b) + ")";
-      case ExprOp::AND: return "(" + rec(n.a) + " & " + rec(n.b) + ")";
-      case ExprOp::OR:  return "(" + rec(n.a) + " | " + rec(n.b) + ")";
-      case ExprOp::XOR: return "(" + rec(n.a) + " ^ " + rec(n.b) + ")";
-      case ExprOp::NOT: return "~" + rec(n.a);
-      case ExprOp::SHL: return "(" + rec(n.a) + " << " + rec(n.b) + ")";
-      case ExprOp::SHRL: return "(" + rec(n.a) + " >> " + rec(n.b) + ")";
-      case ExprOp::SHRA: return "(" + rec(n.a) + " >>a " + rec(n.b) + ")";
+      case ExprOp::ADD: return cat({"(", rec(n.a), " + ", rec(n.b), ")"});
+      case ExprOp::SUB: return cat({"(", rec(n.a), " - ", rec(n.b), ")"});
+      case ExprOp::AND: return cat({"(", rec(n.a), " & ", rec(n.b), ")"});
+      case ExprOp::OR:  return cat({"(", rec(n.a), " | ", rec(n.b), ")"});
+      case ExprOp::XOR: return cat({"(", rec(n.a), " ^ ", rec(n.b), ")"});
+      case ExprOp::NOT: return cat({"~", rec(n.a)});
+      case ExprOp::SHL: return cat({"(", rec(n.a), " << ", rec(n.b), ")"});
+      case ExprOp::SHRL:
+        return cat({"(", rec(n.a), " >> ", rec(n.b), ")"});
+      case ExprOp::SHRA:
+        return cat({"(", rec(n.a), " >>a ", rec(n.b), ")"});
       case ExprOp::XBYTE:
-        return "xc(" + rec(n.a) + ", " + rec(n.b) + ")";
+        return cat({"xc(", rec(n.a), ", ", rec(n.b), ")"});
       case ExprOp::IBYTE:
-        return "ic(" + rec(n.a) + ", " + rec(n.b) + ", " + rec(n.c) +
-               ")";
+        return cat({"ic(", rec(n.a), ", ", rec(n.b), ", ", rec(n.c),
+                    ")"});
       case ExprOp::CMP:
-        return isa::condName(static_cast<isa::Cond>(n.aux)) + "(" +
-               rec(n.a) + ", " + rec(n.b) + ")";
+        return cat({isa::condName(static_cast<isa::Cond>(n.aux)), "(",
+                    rec(n.a), ", ", rec(n.b), ")"});
       case ExprOp::SELECT:
-        return "sel(" + rec(n.a) + ", " + rec(n.b) + ", " + rec(n.c) +
-               ")";
+        return cat({"sel(", rec(n.a), ", ", rec(n.b), ", ", rec(n.c),
+                    ")"});
       case ExprOp::MEM_INIT: return "mem0";
       case ExprOp::MEM_STORE:
-        return "st(" + rec(n.a) + ", [" + rec(n.b) + "]=" + rec(n.c) +
-               ")";
+        return cat({"st(", rec(n.a), ", [", rec(n.b), "]=", rec(n.c),
+                    ")"});
       case ExprOp::MEM_LOAD:
-        return "ld(" + rec(n.a) + ", [" + rec(n.b) + "])";
+        return cat({"ld(", rec(n.a), ", [", rec(n.b), "])"});
       case ExprOp::SYS_INIT: return "sys0";
       case ExprOp::SYS_EFFECT:
-        return support::strprintf("mts%u(", n.aux) + rec(n.a) + ", " +
-               rec(n.b) + ")";
+        return cat({support::strprintf("mts%u(", n.aux), rec(n.a), ", ",
+                    rec(n.b), ")"});
       case ExprOp::SYS_READ:
-        return support::strprintf("mfs%u(", n.aux) + rec(n.a) + ")";
+        return cat({support::strprintf("mfs%u(", n.aux), rec(n.a), ")"});
     }
     return "?";
 }

@@ -232,6 +232,32 @@ collectCcSavings(const assembler::Unit &unit, CcSavings *out)
     }
 }
 
+void
+accumulateRefs(const assembler::Unit &final_unit, uint32_t origin,
+               const sim::Cpu &cpu, RefPattern *out)
+{
+    const auto &items = final_unit.items;
+    for (size_t i = 0; i < items.size(); ++i) {
+        const assembler::Item &item = items[i];
+        if (item.ref_size == 0)
+            continue;
+        uint64_t n = cpu.execCount(origin + static_cast<uint32_t>(i));
+        if (n == 0)
+            continue;
+        bool is_store = item.inst.mem && item.inst.mem->is_store;
+        bool is_byte = item.ref_size == 8;
+        if (is_store) {
+            (is_byte ? out->stores8 : out->stores32) += n;
+            if (item.ref_is_char)
+                (is_byte ? out->char_stores8 : out->char_stores32) += n;
+        } else {
+            (is_byte ? out->loads8 : out->loads32) += n;
+            if (item.ref_is_char)
+                (is_byte ? out->char_loads8 : out->char_loads32) += n;
+        }
+    }
+}
+
 support::Result<ProfileResult>
 profileProgram(const std::string &source, plc::Layout layout)
 {
@@ -255,29 +281,8 @@ profileProgram(const std::string &source, plc::Layout layout)
     result.free_data_cycles = machine.cpu().stats().free_data_cycles;
     result.console = machine.memory().consoleOutput();
 
-    const auto &items = exe.value().final_unit.items;
-    uint32_t origin = exe.value().program.origin;
-    for (size_t i = 0; i < items.size(); ++i) {
-        const assembler::Item &item = items[i];
-        if (item.ref_size == 0)
-            continue;
-        uint64_t n = machine.cpu().execCount(
-            origin + static_cast<uint32_t>(i));
-        if (n == 0)
-            continue;
-        bool is_store = item.inst.mem && item.inst.mem->is_store;
-        bool is_byte = item.ref_size == 8;
-        RefPattern &refs = result.refs;
-        if (is_store) {
-            (is_byte ? refs.stores8 : refs.stores32) += n;
-            if (item.ref_is_char)
-                (is_byte ? refs.char_stores8 : refs.char_stores32) += n;
-        } else {
-            (is_byte ? refs.loads8 : refs.loads32) += n;
-            if (item.ref_is_char)
-                (is_byte ? refs.char_loads8 : refs.char_loads32) += n;
-        }
-    }
+    accumulateRefs(exe.value().final_unit, exe.value().program.origin,
+                   machine.cpu(), &result.refs);
     return result;
 }
 

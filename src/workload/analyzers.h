@@ -13,6 +13,10 @@
 #include "plc/sema.h"
 #include "support/stats.h"
 
+namespace mips::sim {
+class Cpu;
+}
+
 namespace mips::workload {
 
 // ------------------------------------------------ Table 1: constants
@@ -161,6 +165,16 @@ struct ProfileResult
                         static_cast<double>(cycles) : 0.0;
     }
 };
+
+/**
+ * Accumulate logical reference counts into `out` from the compiler's
+ * per-item annotations in `final_unit`, weighted by the profiling
+ * CPU's per-word execution counts (the unit must have been linked at
+ * `origin` and run with profiling enabled). Shared by profileProgram
+ * and the pipeline Simulate stage.
+ */
+void accumulateRefs(const assembler::Unit &final_unit, uint32_t origin,
+                    const sim::Cpu &cpu, RefPattern *out);
 
 /**
  * Compile `source` under `layout`, reorganize, run on the pipeline

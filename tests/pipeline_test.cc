@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Pipeline-session tests: cache identity and keying, parallel/serial
+ * equivalence of `runAll`, counter consistency, error caching, and the
+ * BatchRunner's ordering and exception contract.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "asm/unit.h"
+#include "pipeline/batch.h"
+#include "pipeline/session.h"
+#include "workload/analyzers.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using namespace mips;
+
+std::vector<workload::CorpusProgram>
+testCorpus()
+{
+    std::vector<workload::CorpusProgram> programs = workload::corpus();
+    programs.push_back(workload::fibonacciProgram());
+    return programs;
+}
+
+pipeline::ChainSpec
+fullChain()
+{
+    pipeline::ChainSpec spec;
+    spec.hazard_verify = true;
+    spec.translation_validate = true;
+    spec.simulate = true;
+    return spec;
+}
+
+// A parallel runAll must produce results element-wise identical to a
+// serial one: same order, same rendered units, same diagnostics, same
+// simulation outcome.
+TEST(PipelineSession, ParallelRunAllMatchesSerial)
+{
+    std::vector<workload::CorpusProgram> programs = testCorpus();
+    pipeline::StageOptions options;
+    pipeline::ChainSpec spec = fullChain();
+
+    pipeline::Session serial_session;
+    std::vector<pipeline::ChainResult> serial = pipeline::runAll(
+        serial_session, programs, spec, options, 1);
+    pipeline::Session parallel_session;
+    std::vector<pipeline::ChainResult> parallel = pipeline::runAll(
+        parallel_session, programs, spec, options, 8);
+
+    ASSERT_EQ(serial.size(), programs.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const pipeline::ChainResult &a = serial[i];
+        const pipeline::ChainResult &b = parallel[i];
+        SCOPED_TRACE(a.name);
+        EXPECT_EQ(a.name, programs[i].name);
+        EXPECT_EQ(a.name, b.name);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(assembler::listUnit(a.reorg->final_unit),
+                  assembler::listUnit(b.reorg->final_unit));
+        EXPECT_EQ(a.verify->report.errors, b.verify->report.errors);
+        EXPECT_EQ(a.verify->report.warnings, b.verify->report.warnings);
+        EXPECT_EQ(a.verify->report.diagnostics.size(),
+                  b.verify->report.diagnostics.size());
+        EXPECT_EQ(a.tv->report.errors, b.tv->report.errors);
+        EXPECT_EQ(a.tv->report.notes, b.tv->report.notes);
+        EXPECT_EQ(a.sim->stop, b.sim->stop);
+        EXPECT_EQ(a.sim->cycles, b.sim->cycles);
+        EXPECT_EQ(a.sim->console, b.sim->console);
+    }
+}
+
+// A cache hit hands back the very artifact the cold run produced —
+// pointer identity, not just equality — and counts as a hit.
+TEST(PipelineSession, CacheHitReturnsSameArtifact)
+{
+    pipeline::Session session;
+    const char *source = workload::fibonacciProgram().source;
+
+    auto first = session.compile(source);
+    ASSERT_TRUE(first.ok());
+    auto second = session.compile(source);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first.value().get(), second.value().get());
+
+    auto reorg1 = session.reorganize(source);
+    ASSERT_TRUE(reorg1.ok());
+    auto reorg2 = session.reorganize(source);
+    ASSERT_TRUE(reorg2.ok());
+    EXPECT_EQ(reorg1.value().get(), reorg2.value().get());
+    // The reorganize artifact's input is the cached compile artifact.
+    EXPECT_EQ(reorg1.value()->compile.get(), first.value().get());
+
+    pipeline::PipelineStats stats = session.stats();
+    size_t compile_idx =
+        static_cast<size_t>(pipeline::Stage::COMPILE);
+    size_t reorg_idx =
+        static_cast<size_t>(pipeline::Stage::REORGANIZE);
+    EXPECT_EQ(stats.stage[compile_idx].misses, 1u);
+    EXPECT_GE(stats.stage[compile_idx].hits, 2u); // 2nd compile + reorgs
+    EXPECT_EQ(stats.stage[reorg_idx].misses, 1u);
+    EXPECT_EQ(stats.stage[reorg_idx].hits, 1u);
+}
+
+// Changing any stage option must miss that stage's cache (while the
+// stages it depends on still hit).
+TEST(PipelineSession, OptionChangeMissesCache)
+{
+    pipeline::Session session;
+    const char *source = workload::fibonacciProgram().source;
+
+    pipeline::StageOptions defaults;
+    auto base = session.reorganize(source, defaults);
+    ASSERT_TRUE(base.ok());
+
+    pipeline::StageOptions no_pack = defaults;
+    no_pack.reorg.pack = false;
+    auto unpacked = session.reorganize(source, no_pack);
+    ASSERT_TRUE(unpacked.ok());
+    EXPECT_NE(base.value().get(), unpacked.value().get());
+
+    pipeline::StageOptions volatile_base = defaults;
+    volatile_base.reorg.alias.volatile_base = true;
+    auto strict = session.reorganize(source, volatile_base);
+    ASSERT_TRUE(strict.ok());
+    EXPECT_NE(base.value().get(), strict.value().get());
+
+    pipeline::PipelineStats stats = session.stats();
+    size_t compile_idx =
+        static_cast<size_t>(pipeline::Stage::COMPILE);
+    size_t reorg_idx =
+        static_cast<size_t>(pipeline::Stage::REORGANIZE);
+    // Three distinct reorganize keys, one shared compile key.
+    EXPECT_EQ(stats.stage[reorg_idx].misses, 3u);
+    EXPECT_EQ(stats.stage[compile_idx].misses, 1u);
+    EXPECT_EQ(stats.stage[compile_idx].hits, 2u);
+}
+
+// hits + misses must equal the number of stage requests, and a second
+// identical pass must be all hits (no new misses).
+TEST(PipelineSession, StatsCountersConsistent)
+{
+    std::vector<workload::CorpusProgram> programs = testCorpus();
+    pipeline::Session session;
+    pipeline::StageOptions options;
+    pipeline::ChainSpec spec = fullChain();
+
+    pipeline::runAll(session, programs, spec, options, 1);
+    pipeline::PipelineStats cold = session.stats();
+    // Each program touches compile, reorganize, verify, tv, simulate
+    // exactly once, cold.
+    size_t n = programs.size();
+    for (pipeline::Stage s :
+         {pipeline::Stage::COMPILE, pipeline::Stage::REORGANIZE,
+          pipeline::Stage::HAZARD_VERIFY,
+          pipeline::Stage::TRANSLATION_VALIDATE,
+          pipeline::Stage::SIMULATE}) {
+        const pipeline::StageCounters &c =
+            cold.stage[static_cast<size_t>(s)];
+        SCOPED_TRACE(pipeline::stageName(s));
+        EXPECT_EQ(c.misses, n);
+        EXPECT_GE(c.miss_ms, 0.0);
+    }
+    // Downstream stages resolve their dependencies through the cache,
+    // so compile gets one hit per dependent stage request.
+    uint64_t cold_hits = cold.hits();
+    uint64_t cold_misses = cold.misses();
+    EXPECT_EQ(cold_misses, 5 * n);
+
+    pipeline::runAll(session, programs, spec, options, 1);
+    pipeline::PipelineStats warm = session.stats();
+    EXPECT_EQ(warm.misses(), cold_misses); // nothing recomputed
+    EXPECT_GT(warm.hits(), cold_hits);
+
+    session.clear();
+    pipeline::PipelineStats cleared = session.stats();
+    EXPECT_EQ(cleared.hits(), 0u);
+    EXPECT_EQ(cleared.misses(), 0u);
+    // After clear() the same request is a miss again.
+    ASSERT_TRUE(session.compile(programs[0].source).ok());
+    EXPECT_EQ(session.stats().misses(), 1u);
+}
+
+// Recoverable input failures are cached like artifacts: the second
+// request replays the error without recomputing.
+TEST(PipelineSession, ErrorsAreCached)
+{
+    pipeline::Session session;
+    const char *bad = "program p; begin x := ; end.";
+
+    auto first = session.compile(bad);
+    ASSERT_FALSE(first.ok());
+    auto second = session.compile(bad);
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(first.error().str(), second.error().str());
+
+    pipeline::PipelineStats stats = session.stats();
+    size_t compile_idx =
+        static_cast<size_t>(pipeline::Stage::COMPILE);
+    EXPECT_EQ(stats.stage[compile_idx].misses, 1u);
+    EXPECT_EQ(stats.stage[compile_idx].hits, 1u);
+
+    // A chain over a bad program reports the failure, not a crash.
+    std::vector<workload::CorpusProgram> programs = {
+        {"bad", bad, ""}};
+    std::vector<pipeline::ChainResult> results = pipeline::runAll(
+        session, programs, fullChain(), pipeline::StageOptions{}, 2);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+// The profiling simulate stage must agree with the standalone
+// workload profiler it replaced.
+TEST(PipelineSession, SimulateMatchesWorkloadProfiler)
+{
+    const char *source = workload::fibonacciProgram().source;
+    pipeline::StageOptions options;
+    options.sim.profile = true;
+
+    auto sim = pipeline::sharedSession().simulate(source, options);
+    ASSERT_TRUE(sim.ok());
+    auto profiled = workload::profileProgram(
+        source, plc::Layout::WORD_ALLOCATED);
+    ASSERT_TRUE(profiled.ok());
+
+    EXPECT_EQ(sim.value()->stop, sim::StopReason::HALT);
+    EXPECT_EQ(sim.value()->cycles, profiled.value().cycles);
+    EXPECT_EQ(sim.value()->free_data_cycles,
+              profiled.value().free_data_cycles);
+    EXPECT_EQ(sim.value()->console, profiled.value().console);
+    EXPECT_EQ(sim.value()->refs.loads32, profiled.value().refs.loads32);
+    EXPECT_EQ(sim.value()->refs.stores32,
+              profiled.value().refs.stores32);
+    EXPECT_EQ(sim.value()->refs.loads8, profiled.value().refs.loads8);
+    EXPECT_EQ(sim.value()->refs.stores8, profiled.value().refs.stores8);
+}
+
+// ----------------------------------------------------- BatchRunner
+
+// Results land at their input index regardless of completion order.
+TEST(BatchRunner, CollectsResultsInInputOrder)
+{
+    std::vector<int> items;
+    for (int i = 0; i < 64; ++i)
+        items.push_back(i);
+
+    pipeline::BatchRunner runner(8);
+    std::atomic<int> active{0};
+    std::vector<int> out =
+        runner.runAll(items, [&active](int item, size_t index) {
+            ++active;
+            EXPECT_EQ(static_cast<size_t>(item), index);
+            --active;
+            return item * 3;
+        });
+    EXPECT_EQ(active.load(), 0);
+    ASSERT_EQ(out.size(), items.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+// jobs == 1 runs inline (no threads), same contract.
+TEST(BatchRunner, SerialFallback)
+{
+    std::vector<int> items = {5, 6, 7};
+    pipeline::BatchRunner runner(1);
+    std::vector<int> out = runner.runAll(
+        items, [](int item, size_t) { return item + 1; });
+    EXPECT_EQ(out, (std::vector<int>{6, 7, 8}));
+}
+
+// A throwing work item propagates out of runAll; with several
+// failures, the lowest input index wins (deterministically).
+TEST(BatchRunner, PropagatesLowestIndexException)
+{
+    std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7};
+    pipeline::BatchRunner runner(4);
+    try {
+        runner.runAll(items, [](int item, size_t) -> int {
+            if (item >= 3)
+                throw std::runtime_error("boom " +
+                                         std::to_string(item));
+            return item;
+        });
+        FAIL() << "expected runAll to throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 3");
+    }
+}
+
+} // namespace
