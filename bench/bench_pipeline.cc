@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/catalog.h"
 #include "pipeline/session.h"
 #include "support/logging.h"
 #include "workload/corpus.h"
@@ -141,6 +142,7 @@ writeJson(const std::string &path, double serial_ms, double cached_ms,
         mips::support::panic("bench_pipeline: cannot write %s",
                              path.c_str());
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": 1,\n");
     std::fprintf(f, "  \"benchmark\": \"bench_pipeline\",\n");
     std::fprintf(f, "  \"metric\": \"full corpus tool-chain wall time "
                     "(compile+reorg+verify+tv+simulate)\",\n");
@@ -158,13 +160,23 @@ writeJson(const std::string &path, double serial_ms, double cached_ms,
         const pl::StageCounters &c = st.stage[s];
         std::fprintf(f,
                      "    {\"stage\": \"%s\", \"hits\": %llu, "
-                     "\"misses\": %llu, \"miss_ms\": %.3f}%s\n",
+                     "\"misses\": %llu, \"waits\": %llu, "
+                     "\"miss_ms\": %.3f}%s\n",
                      pl::stageName(static_cast<pl::Stage>(s)),
                      static_cast<unsigned long long>(c.hits),
                      static_cast<unsigned long long>(c.misses),
+                     static_cast<unsigned long long>(c.wait_blocks),
                      c.miss_ms, s + 1 < pl::kStageCount ? "," : "");
     }
-    std::fprintf(f, "  ]\n");
+    std::fprintf(f, "  ],\n");
+    // Embed the process-wide metrics snapshot (docs/METRICS.md), so a
+    // stored BENCH_pipeline.json carries the full counter state of the
+    // run it measured. Register the whole catalog first so the metric
+    // set is identical from run to run.
+    mips::obs::registerBuiltinMetrics();
+    std::string metrics =
+        mips::obs::Registry::instance().snapshot().jsonMetricsArray(2);
+    std::fprintf(f, "  \"metrics\": %s\n", metrics.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("corpus chain: serial %.1f ms, cached %.1f ms "

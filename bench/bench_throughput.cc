@@ -37,8 +37,10 @@
 #include <vector>
 
 #include "asm/assembler.h"
+#include "obs/catalog.h"
 #include "plc/driver.h"
 #include "sim/machine.h"
+#include "sim/obspub.h"
 #include "support/logging.h"
 #include "workload/corpus.h"
 
@@ -274,6 +276,7 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
     uint64_t fast_instr = 0, slow_instr = 0;
     double fast_sec = 0.0, slow_sec = 0.0;
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": 1,\n");
     std::fprintf(f, "  \"benchmark\": \"bench_throughput\",\n");
     std::fprintf(f, "  \"metric\": \"simulated instructions per second "
                     "(pipeline simulator)\",\n");
@@ -309,8 +312,16 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
         f,
         "  \"aggregate\": {\"fastpath_instructions_per_second\": %.0f,\n"
         "                \"baseline_instructions_per_second\": %.0f,\n"
-        "                \"speedup\": %.3f}\n",
+        "                \"speedup\": %.3f},\n",
         fast_ips, slow_ips, slow_ips > 0.0 ? fast_ips / slow_ips : 0.0);
+    // Embed the process-wide metrics snapshot (docs/METRICS.md) — the
+    // sim.* counters for the measured machine are published by main()
+    // before this runs. Register the whole catalog first so the metric
+    // set is identical from run to run.
+    mips::obs::registerBuiltinMetrics();
+    std::string metrics =
+        mips::obs::Registry::instance().snapshot().jsonMetricsArray(2);
+    std::fprintf(f, "  \"metrics\": %s\n", metrics.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("aggregate: fastpath %.1fM instr/s, baseline %.1fM "
@@ -348,6 +359,11 @@ main(int argc, char **argv)
                             ? row.fast.ips() / row.slow.ips() : 0.0);
             rows.push_back(row);
         }
+        // Fold the measured machine's counters into the sim.* metrics
+        // once, after all timed runs. prepare() clears CpuStats per
+        // run, so the published cycle counters describe the final run;
+        // the decode-cache/TLB totals span the whole measurement.
+        mips::sim::publishMetrics(machine);
     }
     writeJson(json_path, rows);
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, run the full test suite, statically
-# verify the whole workload corpus with mipsverify, then run the
-# simulator throughput benchmark and sanity-check its JSON report.
+# verify the whole workload corpus with mipsverify, check the
+# observability surface (--stats=json self-consistency and a loadable
+# --trace-out file), then run the simulator throughput benchmark and
+# sanity-check its JSON report (schema 1, embedded metrics snapshot).
 #
 # Usage:
 #   scripts/check.sh [build-dir]               full check (default ./build)
@@ -62,9 +64,11 @@ if [ "${1:-}" = "tsan" ]; then
     build_dir=${1:-"$repo_root/build-tsan"}
     cmake -S "$repo_root" -B "$build_dir" -DMIPS82_TSAN=ON
     cmake --build "$build_dir" -j "$(nproc)" \
-        --target pipeline_test mipsverify
+        --target pipeline_test obs_test mipsverify
     "$build_dir/tests/pipeline_test"
-    "$build_dir/src/verify/mipsverify" --jobs 8 --corpus --quiet
+    "$build_dir/tests/obs_test"
+    "$build_dir/src/verify/mipsverify" --jobs 8 --corpus --quiet \
+        --stats=json > /dev/null
     echo "check.sh: tsan green"
     exit 0
 fi
@@ -119,6 +123,38 @@ if [ "$bench_only" -eq 0 ]; then
     # Translation-validation gate: the corpus must also *prove*
     # equivalent, under the full reorganizer and each stage toggle.
     run_tv_gate "$build_dir"
+
+    # Observability gate: a parallel corpus run with --stats=json must
+    # emit a parseable, self-consistent registry snapshot (per stage,
+    # lookups == hits + misses), and --trace-out must produce a
+    # Chrome-trace document with span events.
+    "$mv" --corpus --jobs 8 --quiet --stats=json \
+        --trace-out "$build_dir/trace.json" > "$build_dir/stats.json"
+    python3 - "$build_dir/stats.json" "$build_dir/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+if stats["schema"] != 1:
+    sys.exit("mipsverify --stats=json: unexpected schema")
+metrics = {m["name"]: m for m in stats["metrics"]}
+stages = ("parse", "compile", "assemble", "reorganize", "hazard-verify",
+          "translation-validate", "simulate")
+for stage in stages:
+    lookups = metrics[f"pipeline.{stage}.lookups"]["value"]
+    hits = metrics[f"pipeline.{stage}.hits"]["value"]
+    misses = metrics[f"pipeline.{stage}.misses"]["value"]
+    if lookups != hits + misses:
+        sys.exit(f"pipeline.{stage}: lookups {lookups} != "
+                 f"hits {hits} + misses {misses}")
+if metrics["verify.units"]["value"] <= 0:
+    sys.exit("mipsverify --stats=json: no verify.units recorded")
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+if not trace["traceEvents"]:
+    sys.exit("mipsverify --trace-out: no span events recorded")
+print(f"stats/trace gate: {len(metrics)} metrics consistent, "
+      f"{len(trace['traceEvents'])} span events")
+EOF
 fi
 
 json=$build_dir/BENCH_throughput.json
@@ -132,10 +168,15 @@ with open(sys.argv[1]) as f:
 agg = report["aggregate"]
 fast = agg["fastpath_instructions_per_second"]
 slow = agg["baseline_instructions_per_second"]
+if report.get("schema") != 1:
+    sys.exit("bench_throughput report missing schema 1")
 if not report["programs"]:
     sys.exit("bench_throughput reported no programs")
 if fast <= 0 or slow <= 0:
     sys.exit("bench_throughput reported non-positive throughput")
+metrics = {m["name"]: m for m in report["metrics"]}
+if metrics["sim.instructions"]["value"] <= 0:
+    sys.exit("bench_throughput snapshot recorded no sim.instructions")
 print(f"bench_throughput: fastpath {fast/1e6:.1f}M instr/s, "
       f"baseline {slow/1e6:.1f}M instr/s, speedup {agg['speedup']:.2f}x")
 EOF
@@ -151,11 +192,16 @@ python3 - "$pjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
+if report.get("schema") != 1:
+    sys.exit("bench_pipeline report missing schema 1")
 for key in ("serial_ms", "cached_ms", "parallel_ms"):
     if report[key] <= 0:
         sys.exit(f"bench_pipeline reported non-positive {key}")
 if report["programs"] <= 0:
     sys.exit("bench_pipeline reported no programs")
+metrics = {m["name"]: m for m in report["metrics"]}
+if metrics["pipeline.compile.lookups"]["value"] <= 0:
+    sys.exit("bench_pipeline snapshot recorded no pipeline lookups")
 if len(report["stages"]) != 7:
     sys.exit("bench_pipeline reported wrong stage count")
 misses = sum(s["misses"] for s in report["stages"])

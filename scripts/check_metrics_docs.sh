@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs-drift gate for the metrics catalog: every metric the process
+# registers must be documented in docs/METRICS.md, and every metric
+# documented there must still exist in the code — in both directions,
+# by exact name.
+#
+# Usage: scripts/check_metrics_docs.sh <mipsverify-binary> [METRICS.md]
+#
+# Registered names come from `mipsverify --list-metrics` (which calls
+# obs::registerBuiltinMetrics() first, so the dump covers the whole
+# catalog, not just metrics some run happened to touch). Documented
+# names are the backticked first column of the METRICS.md tables:
+#
+#   | `pipeline.compile.hits` | counter | count | ... |
+#
+# The `check_metrics_docs` ctest gate runs this after every build.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <mipsverify-binary> [METRICS.md]" >&2
+    exit 2
+fi
+mipsverify=$1
+docs=${2:-"$(cd "$(dirname "$0")/.." && pwd)/docs/METRICS.md"}
+
+if [ ! -x "$mipsverify" ]; then
+    echo "check_metrics_docs: $mipsverify is not executable" >&2
+    exit 2
+fi
+if [ ! -f "$docs" ]; then
+    echo "check_metrics_docs: $docs not found" >&2
+    exit 2
+fi
+
+registered=$("$mipsverify" --list-metrics | sort)
+documented=$(sed -n 's/^| `\([^`]*\)`.*/\1/p' "$docs" | sort)
+
+status=0
+
+undocumented=$(comm -23 <(echo "$registered") <(echo "$documented"))
+if [ -n "$undocumented" ]; then
+    echo "check_metrics_docs: registered but not in $docs:" >&2
+    echo "$undocumented" | sed 's/^/  /' >&2
+    status=1
+fi
+
+stale=$(comm -13 <(echo "$registered") <(echo "$documented"))
+if [ -n "$stale" ]; then
+    echo "check_metrics_docs: documented in $docs but not registered:" >&2
+    echo "$stale" | sed 's/^/  /' >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    count=$(echo "$registered" | wc -l)
+    echo "check_metrics_docs: $count metrics documented, no drift"
+fi
+exit $status

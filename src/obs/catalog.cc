@@ -1,0 +1,262 @@
+#include "obs/catalog.h"
+
+#include <array>
+
+#include "support/logging.h"
+
+namespace mips::obs {
+
+using support::panic;
+using support::strprintf;
+
+namespace {
+
+/** Millisecond latency buckets shared by the latency histograms:
+ *  sub-ms stage hits up to multi-second corpus chains. */
+std::vector<double>
+latencyMsBounds()
+{
+    return {0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000};
+}
+
+constexpr const char *kStageNames[kPipelineStageCount] = {
+    "parse",
+    "compile",
+    "assemble",
+    "reorganize",
+    "hazard-verify",
+    "translation-validate",
+    "simulate",
+};
+
+constexpr const char *kDiagCodeNames[kVerifyDiagCodes] = {
+    "HZ001", "HZ002", "HZ003", "HZ004", "HZ005", "HZ006",
+    "LT001", "LT002", "LT003", "VF001", "VF002",
+    "TV001", "TV002", "TV003", "TV004", "TV005", "TV006", "TV090",
+};
+
+StageMetrics
+makeStageMetrics(const char *stage)
+{
+    Registry &r = Registry::instance();
+    StageMetrics m;
+    m.lookups = &r.counter(
+        strprintf("pipeline.%s.lookups", stage), "count",
+        strprintf("artifact requests to the %s stage cache", stage));
+    m.hits = &r.counter(
+        strprintf("pipeline.%s.hits", stage), "count",
+        strprintf("%s artifacts served from the session cache", stage));
+    m.misses = &r.counter(
+        strprintf("pipeline.%s.misses", stage), "count",
+        strprintf("%s artifacts computed (including cached errors)",
+                  stage));
+    m.wait_blocks = &r.counter(
+        strprintf("pipeline.%s.wait_blocks", stage), "count",
+        strprintf("%s hits that blocked on an in-flight computation",
+                  stage));
+    m.miss_us = &r.counter(
+        strprintf("pipeline.%s.miss_us", stage), "us",
+        strprintf("wall time spent computing %s artifacts", stage));
+    return m;
+}
+
+} // namespace
+
+const char *
+pipelineStageName(size_t stage)
+{
+    if (stage >= kPipelineStageCount)
+        panic("pipelineStageName: stage %zu out of range", stage);
+    return kStageNames[stage];
+}
+
+StageMetrics &
+pipelineStageMetrics(size_t stage)
+{
+    if (stage >= kPipelineStageCount)
+        panic("pipelineStageMetrics: stage %zu out of range", stage);
+    static std::array<StageMetrics, kPipelineStageCount> metrics = [] {
+        std::array<StageMetrics, kPipelineStageCount> m;
+        for (size_t i = 0; i < kPipelineStageCount; ++i)
+            m[i] = makeStageMetrics(kStageNames[i]);
+        return m;
+    }();
+    return metrics[stage];
+}
+
+Histogram &
+pipelineStageMissMs()
+{
+    static Histogram &h = Registry::instance().histogram(
+        "pipeline.stage_miss_ms", "ms",
+        "latency distribution of stage computations (cache misses)",
+        latencyMsBounds());
+    return h;
+}
+
+BatchMetrics &
+batchMetrics()
+{
+    static BatchMetrics m = [] {
+        Registry &r = Registry::instance();
+        BatchMetrics b;
+        b.runs = &r.counter("batch.runs", "count",
+                            "BatchRunner::runAll invocations");
+        b.items = &r.counter("batch.items", "count",
+                             "items submitted to BatchRunner::runAll");
+        b.claims = &r.counter(
+            "batch.claims", "count",
+            "item indices claimed by workers (== items completed)");
+        b.workers_spawned =
+            &r.counter("batch.workers_spawned", "count",
+                       "worker threads created by BatchRunner");
+        b.worker_busy_us = &r.counter(
+            "batch.worker_busy_us", "us",
+            "total wall time workers spent inside item callbacks");
+        b.queue_depth = &r.gauge(
+            "batch.queue_depth", "items",
+            "unclaimed items of the most recent runAll (0 when idle)");
+        return b;
+    }();
+    return m;
+}
+
+SimMetrics &
+simMetrics()
+{
+    static SimMetrics m = [] {
+        Registry &r = Registry::instance();
+        SimMetrics s;
+        s.runs = &r.counter("sim.runs", "count",
+                            "simulator runs published to the registry");
+        s.instructions = &r.counter(
+            "sim.instructions", "instructions",
+            "instruction words issued (one per machine cycle)");
+        s.free_data_cycles = &r.counter(
+            "sim.free_data_cycles", "cycles",
+            "cycles with the data memory port idle (Section 3.1)");
+        s.alu_pieces = &r.counter("sim.alu_pieces", "count",
+                                  "ALU pieces executed");
+        s.loads = &r.counter("sim.loads", "count",
+                             "memory-referencing loads executed");
+        s.stores = &r.counter("sim.stores", "count", "stores executed");
+        s.long_immediates =
+            &r.counter("sim.long_immediates", "count",
+                       "long-immediate loads executed");
+        s.branches =
+            &r.counter("sim.branches", "count", "branches executed");
+        s.branches_taken =
+            &r.counter("sim.branches_taken", "count", "branches taken");
+        s.jumps = &r.counter("sim.jumps", "count", "jumps executed");
+        s.nops = &r.counter("sim.nops", "count",
+                            "instruction words with no pieces");
+        s.packed_words =
+            &r.counter("sim.packed_words", "count",
+                       "words carrying both ALU and memory pieces");
+        s.traps = &r.counter("sim.traps", "count", "traps taken");
+        s.exceptions = &r.counter("sim.exceptions", "count",
+                                  "exceptions taken (all causes)");
+        s.decode_hits =
+            &r.counter("sim.decode_cache.hits", "count",
+                       "predecoded-instruction-cache hits (host side)");
+        s.decode_misses =
+            &r.counter("sim.decode_cache.misses", "count",
+                       "predecoded-instruction-cache fills (host side)");
+        s.decode_invalidations = &r.counter(
+            "sim.decode_cache.invalidations", "count",
+            "predecoded entries invalidated by memory writes");
+        s.tlb_hits = &r.counter("sim.tlb.hits", "count",
+                                "micro-TLB hits (host side)");
+        s.tlb_misses = &r.counter(
+            "sim.tlb.misses", "count",
+            "micro-TLB misses (fold + page-map reference walks)");
+        s.tlb_flushes = &r.counter(
+            "sim.tlb.flushes", "count",
+            "micro-TLB flushes (map mutation, privilege swaps, ...)");
+        s.map_translations =
+            &r.counter("sim.map.translations", "count",
+                       "successful address translations");
+        s.map_faults = &r.counter(
+            "sim.map.faults", "count",
+            "translation faults (page faults and address errors)");
+        return s;
+    }();
+    return m;
+}
+
+const char *
+verifyDiagCodeName(size_t code)
+{
+    if (code >= kVerifyDiagCodes)
+        panic("verifyDiagCodeName: code %zu out of range", code);
+    return kDiagCodeNames[code];
+}
+
+VerifyMetrics &
+verifyMetrics()
+{
+    static VerifyMetrics m = [] {
+        Registry &r = Registry::instance();
+        VerifyMetrics v;
+        v.units = &r.counter(
+            "verify.units", "count",
+            "verification runs (verifyUnit / verifyReorganization)");
+        v.clean_units =
+            &r.counter("verify.clean_units", "count",
+                       "verification runs with no error findings");
+        for (size_t i = 0; i < kVerifyDiagCodes; ++i)
+            v.diag[i] = &r.counter(
+                strprintf("verify.diag.%s", kDiagCodeNames[i]), "count",
+                strprintf("diagnostics reported with code %s",
+                          kDiagCodeNames[i]));
+        return v;
+    }();
+    return m;
+}
+
+Histogram &
+verifyUnitMs()
+{
+    static Histogram &h = Registry::instance().histogram(
+        "verify.unit_ms", "ms",
+        "per-unit wall time of one mipsverify verification",
+        latencyMsBounds());
+    return h;
+}
+
+TvMetrics &
+tvMetrics()
+{
+    static TvMetrics m = [] {
+        Registry &r = Registry::instance();
+        TvMetrics t;
+        t.units = &r.counter("tv.units", "count",
+                             "translation-validation runs");
+        t.proved = &r.counter(
+            "tv.proved", "count",
+            "runs proving the reorganized unit equivalent");
+        t.refuted =
+            &r.counter("tv.refuted", "count",
+                       "runs finding a divergence (TV001-TV006 error)");
+        t.not_proven = &r.counter(
+            "tv.not_proven", "count",
+            "inconclusive runs (TV090 note, no divergence)");
+        return t;
+    }();
+    return m;
+}
+
+void
+registerBuiltinMetrics()
+{
+    for (size_t i = 0; i < kPipelineStageCount; ++i)
+        pipelineStageMetrics(i);
+    pipelineStageMissMs();
+    batchMetrics();
+    simMetrics();
+    verifyMetrics();
+    verifyUnitMs();
+    tvMetrics();
+}
+
+} // namespace mips::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "support/logging.h"
+
+namespace mips::obs {
+
+using support::strprintf;
+
+namespace {
+
+std::atomic<uint64_t> next_span_id{1};
+
+/** Innermost live span on this thread (0 = none). */
+thread_local uint64_t current_span = 0;
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::enable(bool on)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (on) {
+        epoch_ = std::chrono::steady_clock::now();
+        ring_.clear();
+        next_ = 0;
+        dropped_ = 0;
+    }
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::setCapacity(size_t spans)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = spans == 0 ? 1 : spans;
+    ring_.clear();
+    next_ = 0;
+    dropped_ = 0;
+}
+
+void
+Tracer::record(SpanRecord record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(record));
+        return;
+    }
+    // Full: overwrite the oldest slot. `next_` chases the logical
+    // head once the vector stops growing.
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    // Oldest first: [next_, end) then [0, next_).
+    for (size_t i = next_; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+    for (size_t i = 0; i < next_; ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+int64_t
+Tracer::nowUs() const
+{
+    if (!enabled())
+        return 0;
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::string
+Tracer::chromeTrace() const
+{
+    std::vector<SpanRecord> all = spans();
+    std::string out = "{\"traceEvents\": [\n";
+    for (size_t i = 0; i < all.size(); ++i) {
+        const SpanRecord &s = all[i];
+        out += strprintf(
+            "  {\"name\": \"%s\", \"cat\": \"mips82\", \"ph\": \"X\", "
+            "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %u, "
+            "\"args\": {\"id\": %llu, \"parent\": %llu%s%s%s}}%s\n",
+            s.name.c_str(), static_cast<long long>(s.start_us),
+            static_cast<long long>(s.dur_us), s.tid,
+            static_cast<unsigned long long>(s.id),
+            static_cast<unsigned long long>(s.parent),
+            s.detail.empty() ? "" : ", \"detail\": \"",
+            s.detail.c_str(), s.detail.empty() ? "" : "\"",
+            i + 1 < all.size() ? "," : "");
+    }
+    out += "], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    std::string doc = chromeTrace();
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    return std::fclose(f) == 0 && written == doc.size();
+}
+
+Span::Span(std::string_view name, std::string_view detail)
+{
+    Tracer &tracer = Tracer::instance();
+    if (!tracer.enabled())
+        return;
+    id_ = next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_ = current_span;
+    current_span = id_;
+    name_ = std::string(name);
+    detail_ = std::string(detail);
+    start_us_ = tracer.nowUs();
+}
+
+Span::~Span()
+{
+    if (id_ == 0)
+        return;
+    current_span = parent_;
+    Tracer &tracer = Tracer::instance();
+    // The tracer may have been disabled mid-span; record anyway — the
+    // enable() that started this window cleared the ring, so a late
+    // record is still from the current window.
+    SpanRecord record;
+    record.id = id_;
+    record.parent = parent_;
+    record.tid = threadId();
+    record.start_us = start_us_;
+    record.dur_us = tracer.nowUs() - start_us_;
+    if (record.dur_us < 0)
+        record.dur_us = 0;
+    record.name = std::move(name_);
+    record.detail = std::move(detail_);
+    tracer.record(std::move(record));
+}
+
+} // namespace mips::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Span-based tracing: RAII `Span`s with parent linkage, steady-clock
+ * timing, a bounded ring buffer, and Chrome-trace JSON export.
+ *
+ * A `Span` marks one timed region (a pipeline stage computation, one
+ * corpus chain, one simulator run). Construction reads the steady
+ * clock and pushes the span onto a thread-local stack so nested spans
+ * record their parent; destruction computes the duration and appends
+ * one `SpanRecord` to the process-wide `Tracer` ring buffer. The
+ * buffer is bounded: when full, the oldest record is overwritten and
+ * `dropped()` counts the loss — tracing a long run degrades to "the
+ * most recent N spans", never to unbounded memory.
+ *
+ * Tracing is off by default. A disabled tracer makes Span construction
+ * one relaxed atomic load and nothing else, so instrumentation can sit
+ * permanently on the pipeline paths (`mipsverify --trace-out FILE`
+ * switches it on). The ring is mutex-protected on record — spans mark
+ * millisecond-scale stage work, not per-cycle events, so a lock per
+ * span end is well under the noise floor (see DESIGN.md §11 for the
+ * measured overhead).
+ *
+ * Export is the Chrome trace-event format (chrome://tracing,
+ * https://ui.perfetto.dev): one complete ("ph":"X") event per span,
+ * with the obs::threadId() as tid and the parent span id in args, so
+ * the session's cached-stage fan-out is directly visible on a
+ * timeline.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mips::obs {
+
+/** One finished span. */
+struct SpanRecord
+{
+    uint64_t id = 0;       ///< unique per process, 1-based
+    uint64_t parent = 0;   ///< enclosing span on the same thread, 0 = root
+    unsigned tid = 0;      ///< obs::threadId() of the recording thread
+    int64_t start_us = 0;  ///< steady-clock µs since Tracer enable
+    int64_t dur_us = 0;
+    std::string name;      ///< e.g. "compile"
+    std::string detail;    ///< e.g. the unit name; may be empty
+};
+
+/** Process-wide span sink. */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Turn tracing on (re-arms the epoch) or off. Enabling clears
+     *  previously collected spans. */
+    void enable(bool on);
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Resize the ring (default 65536 spans). Clears collected spans. */
+    void setCapacity(size_t spans);
+
+    /** Append one record (called by ~Span). */
+    void record(SpanRecord record);
+
+    /** Spans overwritten because the ring was full. */
+    uint64_t dropped() const;
+
+    /** Collected spans, oldest first. */
+    std::vector<SpanRecord> spans() const;
+
+    /** Render every collected span as a Chrome trace-event document:
+     *  {"traceEvents": [...], "displayTimeUnit": "ms"}. */
+    std::string chromeTrace() const;
+
+    /** chromeTrace() to a file; false (with errno intact) on failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+    /** µs since the enable() epoch (0 when never enabled). */
+    int64_t nowUs() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_{};
+    std::vector<SpanRecord> ring_;
+    size_t capacity_ = 65536;
+    size_t next_ = 0;      ///< ring write index once full
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * RAII timed region. Inert (no clock read, no allocation) when the
+ * tracer is disabled at construction time.
+ */
+class Span
+{
+  public:
+    explicit Span(std::string_view name, std::string_view detail = "");
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** This span's id (0 when inert). */
+    uint64_t id() const { return id_; }
+
+  private:
+    uint64_t id_ = 0;
+    uint64_t parent_ = 0;
+    int64_t start_us_ = 0;
+    std::string name_;
+    std::string detail_;
+};
+
+} // namespace mips::obs

@@ -16,15 +16,25 @@
  * vector is element-wise identical to a serial run regardless of
  * scheduling. Exceptions are captured per item and the lowest-index
  * one is rethrown after all threads join.
+ *
+ * Observability: every run reports through the `batch.*` metrics
+ * (items, claims, workers spawned, worker busy time, and a live
+ * queue-depth gauge — see docs/METRICS.md). Workers accumulate busy
+ * time in a local and publish once at exit, so the per-item cost of
+ * being observable is one relaxed counter add and one gauge
+ * decrement.
  */
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/catalog.h"
 
 namespace mips::pipeline {
 
@@ -49,37 +59,63 @@ class BatchRunner
     {
         using Out =
             std::decay_t<std::invoke_result_t<Fn &, const In &, size_t>>;
+        using BusyClock = std::chrono::steady_clock;
         std::vector<Out> results(items.size());
+        obs::BatchMetrics &bm = obs::batchMetrics();
+        bm.runs->add();
+        bm.items->add(items.size());
         if (items.empty())
             return results;
+        bm.queue_depth->set(static_cast<int64_t>(items.size()));
 
         size_t threads = std::min<size_t>(jobs_, items.size());
         if (threads <= 1) {
-            for (size_t i = 0; i < items.size(); ++i)
+            BusyClock::time_point start = BusyClock::now();
+            for (size_t i = 0; i < items.size(); ++i) {
+                bm.claims->add();
+                bm.queue_depth->add(-1);
                 results[i] = fn(items[i], i);
+            }
+            bm.worker_busy_us->add(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    BusyClock::now() - start)
+                    .count()));
+            bm.queue_depth->set(0);
             return results;
         }
 
         std::atomic<size_t> next{0};
         std::vector<std::exception_ptr> errors(items.size());
         auto worker = [&]() {
+            uint64_t busy_us = 0;
             for (;;) {
                 size_t i = next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= items.size())
-                    return;
+                    break;
+                bm.claims->add();
+                bm.queue_depth->add(-1);
+                BusyClock::time_point start = BusyClock::now();
                 try {
                     results[i] = fn(items[i], i);
                 } catch (...) {
                     errors[i] = std::current_exception();
                 }
+                busy_us += static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(BusyClock::now() -
+                                                   start)
+                        .count());
             }
+            bm.worker_busy_us->add(busy_us);
         };
+        bm.workers_spawned->add(threads);
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (size_t t = 0; t < threads; ++t)
             pool.emplace_back(worker);
         for (std::thread &t : pool)
             t.join();
+        bm.queue_depth->set(0);
         for (std::exception_ptr &e : errors)
             if (e)
                 std::rethrow_exception(e);

@@ -3,10 +3,13 @@
 #include <chrono>
 #include <optional>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "pipeline/batch.h"
 #include "plc/parser.h"
 #include "plc/sema.h"
 #include "sim/machine.h"
+#include "sim/obspub.h"
 #include "support/strings.h"
 #include "support/table.h"
 
@@ -115,15 +118,20 @@ std::string
 PipelineStats::table() const
 {
     support::TextTable t("Pipeline session: per-stage cache counters");
-    t.setHeader({"Stage", "Hits", "Misses", "Hit rate", "Miss ms"});
+    t.setHeader({"Stage", "Hits", "Misses", "Waits", "Hit rate",
+                 "Miss ms"});
+    uint64_t waits = 0;
     for (size_t i = 0; i < kStageCount; ++i) {
         const StageCounters &c = stage[i];
         uint64_t total = c.hits + c.misses;
+        waits += c.wait_blocks;
         t.addRow({stageName(static_cast<Stage>(i)),
                   strprintf("%llu",
                             static_cast<unsigned long long>(c.hits)),
                   strprintf("%llu",
                             static_cast<unsigned long long>(c.misses)),
+                  strprintf("%llu", static_cast<unsigned long long>(
+                                        c.wait_blocks)),
                   total ? support::TextTable::pct(
                               static_cast<double>(c.hits) /
                               static_cast<double>(total))
@@ -136,6 +144,7 @@ PipelineStats::table() const
               strprintf("%llu", static_cast<unsigned long long>(hits())),
               strprintf("%llu",
                         static_cast<unsigned long long>(misses())),
+              strprintf("%llu", static_cast<unsigned long long>(waits)),
               total ? support::TextTable::pct(
                           static_cast<double>(hits()) /
                           static_cast<double>(total))
@@ -188,27 +197,44 @@ struct Session::Impl
     getOrCompute(Map<T> &map, Stage stage, const std::string &key,
                  Fn &&fn)
     {
+        obs::StageMetrics &om =
+            obs::pipelineStageMetrics(static_cast<size_t>(stage));
+        om.lookups->add();
         std::shared_ptr<Slot<T>> slot;
         {
             std::unique_lock<std::mutex> lock(mu);
             auto [it, inserted] = map.try_emplace(key, nullptr);
             if (!inserted) {
                 slot = it->second;
-                cv.wait(lock, [&] { return slot->ready; });
+                if (!slot->ready) {
+                    ++counters[static_cast<size_t>(stage)].wait_blocks;
+                    om.wait_blocks->add();
+                    cv.wait(lock, [&] { return slot->ready; });
+                }
                 ++counters[static_cast<size_t>(stage)].hits;
+                om.hits->add();
                 return *slot->result;
             }
             slot = std::make_shared<Slot<T>>();
             it->second = slot;
         }
 
+        // Registry mirror of the miss: counted on the throw path too,
+        // so `lookups == hits + misses` holds even when a stage dies.
         Clock::time_point start = Clock::now();
+        auto recordMiss = [&](double ms) {
+            om.misses->add();
+            om.miss_us->add(static_cast<uint64_t>(ms * 1000.0));
+            obs::pipelineStageMissMs().observe(ms);
+        };
         support::Result<std::shared_ptr<const T>> result = [&] {
+            obs::Span span(stageName(stage));
             try {
                 return fn();
             } catch (...) {
                 // Never leave waiters hung: publish an error, then
                 // rethrow for the caller.
+                recordMiss(msSince(start));
                 std::lock_guard<std::mutex> lock(mu);
                 slot->result =
                     support::makeError("pipeline stage threw");
@@ -218,6 +244,7 @@ struct Session::Impl
             }
         }();
         double ms = msSince(start);
+        recordMiss(ms);
         {
             std::lock_guard<std::mutex> lock(mu);
             slot->result = std::move(result);
@@ -428,6 +455,11 @@ Session::simulate(std::string_view source, const StageOptions &options)
                                          machine.cpu(),
                                          &artifact->refs);
             }
+            // Fresh machine, one run: fold its counters into the
+            // process-wide sim.* metrics (cache hits re-serve the
+            // artifact without re-simulating, so nothing is counted
+            // twice).
+            sim::publishMetrics(machine);
             return SimRef(artifact);
         });
 }
@@ -453,6 +485,7 @@ runAll(Session &session,
         [&](const workload::CorpusProgram &program, size_t) {
             ChainResult r;
             r.name = program.name;
+            obs::Span span("chain", program.name);
             Clock::time_point start = Clock::now();
             auto fail = [&](const support::Error &error) {
                 r.error = error.str();

@@ -181,12 +181,15 @@ constexpr size_t kStageCount = 7;
 /** Stage name for tables and logs. */
 const char *stageName(Stage stage);
 
-/** Counters for one stage of one session. */
+/** Counters for one stage of one session. The same counts are also
+ *  mirrored into the process-wide obs::Registry under
+ *  `pipeline.<stage>.*` (see docs/METRICS.md). */
 struct StageCounters
 {
-    uint64_t hits = 0;   ///< artifact served from the cache
-    uint64_t misses = 0; ///< artifact computed (includes errors)
-    double miss_ms = 0;  ///< wall time spent computing, milliseconds
+    uint64_t hits = 0;        ///< artifact served from the cache
+    uint64_t misses = 0;      ///< artifact computed (includes errors)
+    uint64_t wait_blocks = 0; ///< hits that blocked on an in-flight miss
+    double miss_ms = 0;       ///< wall time spent computing, milliseconds
 };
 
 /** Snapshot of a session's per-stage counters. */

@@ -42,8 +42,11 @@ class Machine
     }
 
     PhysMemory &memory() { return memory_; }
+    const PhysMemory &memory() const { return memory_; }
     MappingUnit &mapping() { return mapping_; }
+    const MappingUnit &mapping() const { return mapping_; }
     Cpu &cpu() { return cpu_; }
+    const Cpu &cpu() const { return cpu_; }
 
   private:
     PhysMemory memory_;

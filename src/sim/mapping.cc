@@ -23,6 +23,7 @@ MappingUnit::configure(uint8_t seg_bits, uint32_t pid)
 void
 MappingUnit::flushTlb()
 {
+    ++tlb_flushes_;
     for (TlbEntry &e : tlb_)
         e = TlbEntry{};
 }

@@ -164,6 +164,7 @@ class MappingUnit
 
     uint64_t tlbHits() const { return tlb_hits_; }
     uint64_t tlbMisses() const { return tlb_misses_; }
+    uint64_t tlbFlushes() const { return tlb_flushes_; }
 
   private:
     /** TLB-missing translate: fold + page-map walk, then refill. */
@@ -192,6 +193,7 @@ class MappingUnit
     bool tlb_enabled_ = true;
     uint64_t tlb_hits_ = 0;
     uint64_t tlb_misses_ = 0;
+    uint64_t tlb_flushes_ = 0;
 };
 
 } // namespace mips::sim

@@ -172,6 +172,11 @@ class PhysMemory
         decode_tags_invalid_ = invalid;
     }
 
+    /** Predecoded entries actually invalidated by writes (stores that
+     *  hit a live tag; the common store misses every tag and costs
+     *  nothing extra). */
+    uint64_t decodeInvalidations() const { return decode_invalidations_; }
+
   private:
     /** Out-of-line slow paths for the inline read()/write() above. */
     [[noreturn]] void outOfRange(const char *op, uint32_t addr) const;
@@ -186,8 +191,10 @@ class PhysMemory
         // pointer into the matching payload.
         if (decode_tags_ != nullptr) {
             uint32_t idx = addr & decode_tags_mask_;
-            if (decode_tags_[idx] == addr)
+            if (decode_tags_[idx] == addr) {
                 decode_tags_[idx] = decode_tags_invalid_;
+                ++decode_invalidations_;
+            }
         }
     }
 
@@ -202,6 +209,7 @@ class PhysMemory
     uint32_t *decode_tags_ = nullptr;
     uint32_t decode_tags_mask_ = 0;
     uint32_t decode_tags_invalid_ = 0;
+    uint64_t decode_invalidations_ = 0;
 };
 
 } // namespace mips::sim

@@ -25,6 +25,15 @@
  * (toggle individual reorganizer stages, for the per-stage validation
  * matrix in scripts/check.sh).
  *
+ * Observability (docs/METRICS.md, docs/CLI.md): --stats prints a
+ * snapshot of the process-wide metrics registry after the run (as a
+ * text table; --stats=json emits the {"schema":1,"metrics":[...]}
+ * document instead — combine with --quiet for pure-JSON stdout),
+ * --trace-out FILE enables span tracing and writes a Chrome-trace
+ * JSON (chrome://tracing / ui.perfetto.dev) on exit, and
+ * --list-metrics prints every registered metric name one per line
+ * (the scripts/check_metrics_docs.sh drift gate consumes this).
+ *
  * The corpus runs through a pipeline::Session, so repeated stages
  * share cached artifacts, and a pipeline::BatchRunner fans units
  * across the worker threads with deterministic result collection.
@@ -41,6 +50,8 @@
 #include <string>
 
 #include "asm/assembler.h"
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "pipeline/session.h"
 #include "reorg/reorganizer.h"
 #include "support/logging.h"
@@ -60,7 +71,10 @@ struct CliOptions
     bool strict = false;
     bool fail_fast = false;
     bool no_time = false;
+    bool stats = false;
+    bool stats_json = false;
     unsigned jobs = 1;
+    std::string trace_out;
     mips::verify::VerifyOptions verify;
     mips::reorg::ReorgOptions reorg_options;
     std::string file;
@@ -74,13 +88,16 @@ usage(FILE *to)
                  "[--strict]\n"
                  "                  [--no-reorder] [--no-pack] "
                  "[--no-fill-delay] [--quiet]\n"
-                 "                  [--no-time] file.s\n"
+                 "                  [--no-time] [--stats[=json]] "
+                 "[--trace-out FILE] file.s\n"
                  "       mipsverify --corpus [--jobs N] [--tv] "
                  "[--fail-fast] [--json]\n"
                  "                  [--no-lint] [--strict] [--no-reorder] "
                  "[--no-pack]\n"
                  "                  [--no-fill-delay] [--quiet] "
-                 "[--no-time]\n");
+                 "[--no-time]\n"
+                 "                  [--stats[=json]] [--trace-out FILE]\n"
+                 "       mipsverify --list-metrics\n");
 }
 
 using Clock = std::chrono::steady_clock;
@@ -119,6 +136,7 @@ emit(const CliOptions &cli, mips::verify::VerifyReport report,
     using mips::support::strprintf;
     if (cli.strict)
         mips::verify::promoteNotesToErrors(&report);
+    mips::obs::verifyUnitMs().observe(elapsed_ms);
     if (cli.json) {
         *out += mips::verify::reportJson(
             report, name, cli.no_time ? -1.0 : elapsed_ms);
@@ -301,6 +319,38 @@ main(int argc, char **argv)
             cli.quiet = true;
         } else if (arg == "--no-time") {
             cli.no_time = true;
+        } else if (arg == "--stats") {
+            cli.stats = true;
+        } else if (arg == "--stats=json") {
+            cli.stats = true;
+            cli.stats_json = true;
+        } else if (arg == "--trace-out" ||
+                   arg.rfind("--trace-out=", 0) == 0) {
+            if (arg == "--trace-out") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --trace-out needs a "
+                                 "file\n");
+                    return 2;
+                }
+                cli.trace_out = argv[++i];
+            } else {
+                cli.trace_out = arg.substr(12);
+            }
+            if (cli.trace_out.empty()) {
+                std::fprintf(stderr,
+                             "mipsverify: --trace-out needs a file\n");
+                return 2;
+            }
+        } else if (arg == "--list-metrics") {
+            // The docs-drift gate (scripts/check_metrics_docs.sh)
+            // diffs this dump against docs/METRICS.md, so force every
+            // built-in metric to register before listing.
+            mips::obs::registerBuiltinMetrics();
+            for (const std::string &name :
+                 mips::obs::Registry::instance().names())
+                std::printf("%s\n", name.c_str());
+            return 0;
         } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
             const char *value = nullptr;
             if (arg == "--jobs") {
@@ -337,16 +387,40 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (cli.corpus) {
-        if (!cli.file.empty()) {
-            usage(stderr);
-            return 2;
-        }
-        return runCorpus(cli);
-    }
-    if (cli.file.empty()) {
+    if (cli.corpus && !cli.file.empty()) {
         usage(stderr);
         return 2;
     }
-    return runFile(cli);
+    if (!cli.corpus && cli.file.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    if (!cli.trace_out.empty())
+        mips::obs::Tracer::instance().enable(true);
+
+    int status = cli.corpus ? runCorpus(cli) : runFile(cli);
+
+    if (cli.stats) {
+        // Register the full catalog before snapshotting so the output
+        // schema is stable: metrics a short run never touched still
+        // appear (at zero) instead of coming and going between runs.
+        mips::obs::registerBuiltinMetrics();
+        mips::obs::Snapshot snap =
+            mips::obs::Registry::instance().snapshot();
+        std::string doc = cli.stats_json ? snap.json() : snap.table();
+        std::fputs(doc.c_str(), stdout);
+        if (!doc.empty() && doc.back() != '\n')
+            std::fputc('\n', stdout);
+    }
+    if (!cli.trace_out.empty()) {
+        if (!mips::obs::Tracer::instance().writeChromeTrace(
+                cli.trace_out)) {
+            std::fprintf(stderr,
+                         "mipsverify: cannot write trace to %s\n",
+                         cli.trace_out.c_str());
+            return 2;
+        }
+    }
+    return status;
 }

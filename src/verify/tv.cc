@@ -8,6 +8,7 @@
 #include "isa/branch.h"
 #include "isa/instruction.h"
 #include "isa/registers.h"
+#include "obs/catalog.h"
 #include "support/strings.h"
 
 namespace mips::verify {
@@ -609,7 +610,23 @@ validateTranslation(const assembler::Unit &input,
                     const TvOptions &options)
 {
     Validator validator(input, output, hints, options);
-    return validator.run();
+    VerifyReport report = validator.run();
+
+    // Proof-outcome metrics: every run is exactly one of proved /
+    // refuted / not_proven, and TV diagnostics join the per-code
+    // verify.diag.* counts alongside the hazard verifier's.
+    obs::TvMetrics &tm = obs::tvMetrics();
+    tm.units->add();
+    if (report.errors > 0)
+        tm.refuted->add();
+    else if (report.countOf(Code::TV090) > 0)
+        tm.not_proven->add();
+    else
+        tm.proved->add();
+    obs::VerifyMetrics &vm = obs::verifyMetrics();
+    for (const Diagnostic &d : report.diagnostics)
+        vm.diag[static_cast<size_t>(d.code)]->add();
+    return report;
 }
 
 } // namespace mips::verify

@@ -1,10 +1,16 @@
 #include "verify/verify.h"
 
+#include "obs/catalog.h"
 #include "verify/passes.h"
 
 namespace mips::verify {
 
 namespace {
+
+// The obs catalog mirrors the diagnostic-code list as strings so it
+// can stay a leaf library; hold the two in lockstep here.
+static_assert(static_cast<size_t>(kNumCodes) == obs::kVerifyDiagCodes,
+              "new Code: extend obs::kDiagCodeNames and docs/METRICS.md");
 
 VerifyReport
 finish(DiagnosticEngine &engine)
@@ -15,6 +21,15 @@ finish(DiagnosticEngine &engine)
     report.warnings = engine.warningCount();
     report.notes = engine.noteCount();
     report.diagnostics = engine.diagnostics();
+
+    // Every verification run — CLI, pipeline stage, or test oracle —
+    // reports through the verify.* metrics.
+    obs::VerifyMetrics &m = obs::verifyMetrics();
+    m.units->add();
+    if (report.clean())
+        m.clean_units->add();
+    for (const Diagnostic &d : report.diagnostics)
+        m.diag[static_cast<size_t>(d.code)]->add();
     return report;
 }
 
