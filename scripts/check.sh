@@ -24,10 +24,13 @@
 # The --bench-only mode is what the `check_bench_json` CTest target
 # runs: the full mode invokes ctest itself and must not recurse.
 #
-# The benchmark step validates that the report parses and carries both
-# the fast-path and baseline aggregate numbers; it does not enforce a
-# speedup threshold, since CI machines vary (see the committed
-# BENCH_throughput.json for reference numbers).
+# The throughput benchmark step validates that the report parses and
+# carries both the fast-path and baseline aggregate numbers; it does
+# not enforce a speedup threshold, since CI machines vary (see the
+# committed BENCH_throughput.json for reference numbers). The pipeline
+# benchmark additionally floor-gates the jobs=8 parallel speedup with
+# a core-count-aware threshold (>= 1.0 on multi-core hosts, a 0.5
+# collapse tripwire on single-core ones).
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -68,6 +71,10 @@ if [ "${1:-}" = "tsan" ]; then
     "$build_dir/tests/pipeline_test"
     "$build_dir/tests/obs_test"
     "$build_dir/src/verify/mipsverify" --jobs 8 --corpus --quiet \
+        --stats=json > /dev/null
+    # --jobs 0 = auto-detect worker count (docs/CLI.md): same corpus
+    # pass through whatever hardware_concurrency() reports.
+    "$build_dir/src/verify/mipsverify" --jobs 0 --corpus --quiet \
         --stats=json > /dev/null
     echo "check.sh: tsan green"
     exit 0
@@ -148,6 +155,12 @@ for stage in stages:
                  f"hits {hits} + misses {misses}")
 if metrics["verify.units"]["value"] <= 0:
     sys.exit("mipsverify --stats=json: no verify.units recorded")
+if metrics["verify.unit_ms"]["count"] <= 0:
+    sys.exit("mipsverify --stats=json: verify.unit_ms histogram is "
+             "dead (no per-unit verify timings observed)")
+if metrics["batch.queue_depth"]["value"] != 0:
+    sys.exit("mipsverify --stats=json: batch.queue_depth did not "
+             "return to 0 after the run")
 with open(sys.argv[2]) as f:
     trace = json.load(f)
 if not trace["traceEvents"]:
@@ -181,9 +194,13 @@ print(f"bench_throughput: fastpath {fast/1e6:.1f}M instr/s, "
       f"baseline {slow/1e6:.1f}M instr/s, speedup {agg['speedup']:.2f}x")
 EOF
 
-# Pipeline-session benchmark: corpus chains serial vs cached vs
-# parallel. Structure is validated; the speedups are recorded, not
-# gated (parallel scaling depends on host core count).
+# Pipeline-session benchmark: corpus chains serial vs cached plus a
+# jobs ∈ {1,2,4,8} scaling sweep. Structure is validated, and the
+# jobs = 8 speedup is floor-gated with a core-count-aware threshold:
+# a multi-core host must not be slower than serial (>= 1.0); a
+# single-core host cannot express parallelism and only has to clear a
+# collapse tripwire (>= 0.5 — pure scheduling overhead costs ~20%,
+# a lock convoy or thundering herd costs far more).
 pjson=$build_dir/BENCH_pipeline.json
 "$build_dir/bench/bench_pipeline" --json="$pjson" \
     --benchmark_filter='^$' > /dev/null
@@ -192,26 +209,50 @@ python3 - "$pjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-if report.get("schema") != 1:
-    sys.exit("bench_pipeline report missing schema 1")
+if report.get("schema") != 2:
+    sys.exit("bench_pipeline report missing schema 2")
 for key in ("serial_ms", "cached_ms", "parallel_ms"):
     if report[key] <= 0:
         sys.exit(f"bench_pipeline reported non-positive {key}")
 if report["programs"] <= 0:
     sys.exit("bench_pipeline reported no programs")
+cores = report["host_cores"]
+if cores < 1:
+    sys.exit("bench_pipeline reported no host_cores")
+scaling = report["scaling"]
+if [p["jobs"] for p in scaling] != [1, 2, 4, 8]:
+    sys.exit("bench_pipeline scaling sweep is not jobs [1, 2, 4, 8]")
+for p in scaling:
+    if p["ms"] <= 0 or p["speedup"] <= 0:
+        sys.exit(f"bench_pipeline scaling point {p} is non-positive")
+if abs(scaling[0]["speedup"] - 1.0) > 1e-6:
+    sys.exit("bench_pipeline scaling jobs=1 point is not the serial "
+             "baseline (speedup != 1.0)")
+if scaling[-1]["ms"] != report["parallel_ms"]:
+    sys.exit("bench_pipeline parallel_ms disagrees with the jobs=8 "
+             "scaling point")
+floor = 1.0 if cores >= 2 else 0.5
+if report["parallel_speedup"] < floor:
+    sys.exit(f"bench_pipeline parallel_speedup "
+             f"{report['parallel_speedup']:.3f} below the "
+             f"{floor:.1f} floor for a {cores}-core host")
 metrics = {m["name"]: m for m in report["metrics"]}
 if metrics["pipeline.compile.lookups"]["value"] <= 0:
     sys.exit("bench_pipeline snapshot recorded no pipeline lookups")
+if metrics["verify.unit_ms"]["count"] <= 0:
+    sys.exit("bench_pipeline snapshot has a dead verify.unit_ms "
+             "histogram")
+if metrics["batch.queue_depth"]["value"] != 0:
+    sys.exit("bench_pipeline left batch.queue_depth non-zero")
 if len(report["stages"]) != 7:
     sys.exit("bench_pipeline reported wrong stage count")
 misses = sum(s["misses"] for s in report["stages"])
 if misses <= 0:
     sys.exit("bench_pipeline cold run recorded no cache misses")
-print(f"bench_pipeline: serial {report['serial_ms']:.1f} ms, "
-      f"cached {report['cached_ms']:.1f} ms "
-      f"({report['cache_speedup']:.1f}x), "
-      f"parallel({report['jobs']}) {report['parallel_ms']:.1f} ms "
-      f"({report['parallel_speedup']:.2f}x)")
+curve = ", ".join(f"{p['jobs']}j={p['speedup']:.2f}x" for p in scaling)
+print(f"bench_pipeline ({cores} cores): serial "
+      f"{report['serial_ms']:.1f} ms, cached {report['cached_ms']:.1f} "
+      f"ms ({report['cache_speedup']:.1f}x), scaling [{curve}]")
 EOF
 
 echo "check.sh: all green"

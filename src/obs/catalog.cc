@@ -94,6 +94,15 @@ pipelineStageMissMs()
     return h;
 }
 
+Counter &
+pipelineCacheShardConflicts()
+{
+    static Counter &c = Registry::instance().counter(
+        "pipeline.cache.shard_conflicts", "count",
+        "cache lookups that contended on a shard lock");
+    return c;
+}
+
 BatchMetrics &
 batchMetrics()
 {
@@ -107,6 +116,12 @@ batchMetrics()
         b.claims = &r.counter(
             "batch.claims", "count",
             "item indices claimed by workers (== items completed)");
+        b.chunk_claims = &r.counter(
+            "batch.chunk_claims", "count",
+            "index chunks taken off the shared claim cursor");
+        b.steals = &r.counter(
+            "batch.steals", "count",
+            "successful steals of queued items from another worker");
         b.workers_spawned =
             &r.counter("batch.workers_spawned", "count",
                        "worker threads created by BatchRunner");
@@ -115,7 +130,8 @@ batchMetrics()
             "total wall time workers spent inside item callbacks");
         b.queue_depth = &r.gauge(
             "batch.queue_depth", "items",
-            "unclaimed items of the most recent runAll (0 when idle)");
+            "items of the most recent runAll not yet completed "
+            "(0 when idle)");
         return b;
     }();
     return m;
@@ -219,7 +235,8 @@ verifyUnitMs()
 {
     static Histogram &h = Registry::instance().histogram(
         "verify.unit_ms", "ms",
-        "per-unit wall time of one mipsverify verification",
+        "per-unit wall time of one hazard verification (pipeline "
+        "stage computation or single-file CLI run)",
         latencyMsBounds());
     return h;
 }
@@ -252,6 +269,7 @@ registerBuiltinMetrics()
     for (size_t i = 0; i < kPipelineStageCount; ++i)
         pipelineStageMetrics(i);
     pipelineStageMissMs();
+    pipelineCacheShardConflicts();
     batchMetrics();
     simMetrics();
     verifyMetrics();

@@ -56,17 +56,24 @@ StageMetrics &pipelineStageMetrics(size_t stage);
  *  computations (cache misses), any stage. */
 Histogram &pipelineStageMissMs();
 
+/** `pipeline.cache.shard_conflicts`: lookups that found their cache
+ *  shard's lock held by another thread. Near zero for distinct-key
+ *  workloads under the 16-way sharded session cache. */
+Counter &pipelineCacheShardConflicts();
+
 // ------------------------------------------------------- batch runner
 
-/** Handles for `batch.*` (the BatchRunner thread pool). */
+/** Handles for `batch.*` (the BatchRunner work-stealing pool). */
 struct BatchMetrics
 {
     Counter *runs;            ///< runAll invocations
     Counter *items;           ///< items submitted
-    Counter *claims;          ///< items claimed by workers
+    Counter *claims;          ///< items executed by workers
+    Counter *chunk_claims;    ///< chunks taken off the shared cursor
+    Counter *steals;          ///< successful steals from another worker
     Counter *workers_spawned; ///< worker threads created
     Counter *worker_busy_us;  ///< total µs workers spent in callbacks
-    Gauge *queue_depth;       ///< unclaimed items of the current run
+    Gauge *queue_depth;       ///< items of the current run not yet done
 };
 BatchMetrics &batchMetrics();
 
@@ -119,7 +126,10 @@ struct VerifyMetrics
 };
 VerifyMetrics &verifyMetrics();
 
-/** `verify.unit_ms`: per-unit wall time of one CLI verification. */
+/** `verify.unit_ms`: per-unit wall time of one hazard verification —
+ *  observed by the pipeline's hazard-verify stage per computed unit
+ *  and by single-file mipsverify runs (cache hits replay without
+ *  re-observing). */
 Histogram &verifyUnitMs();
 
 /** Handles for `tv.*` (translation-validation proof outcomes;

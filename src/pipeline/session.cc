@@ -1,6 +1,9 @@
 #include "pipeline/session.h"
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <functional>
 #include <optional>
 
 #include "obs/catalog.h"
@@ -71,6 +74,12 @@ keyOf(const SimOptions &o)
 }
 
 } // namespace
+
+size_t
+cacheShardOf(std::string_view key)
+{
+    return std::hash<std::string_view>{}(key) & (kCacheShards - 1);
+}
 
 const char *
 stageName(Stage stage)
@@ -150,7 +159,9 @@ PipelineStats::table() const
                           static_cast<double>(total))
                     : "-",
               support::TextTable::num(missMs(), 1)});
-    return t.render();
+    return t.render() +
+           strprintf("cache shard conflicts: %llu\n",
+                     static_cast<unsigned long long>(shard_conflicts));
 }
 
 // ------------------------------------------------------ Session::Impl
@@ -159,13 +170,15 @@ struct Session::Impl
 {
     /**
      * One cache entry. `result` is written exactly once, under the
-     * session lock, after which `ready` flips and waiters wake; from
-     * then on the entry is immutable and may be read without the lock.
+     * owning shard's lock, after which `ready` flips (release) and
+     * waiters wake; from then on the entry is immutable and may be
+     * read with no lock at all — the fast path acquire-loads `ready`
+     * and copies `result`.
      */
     template <typename T>
     struct Slot
     {
-        bool ready = false;
+        std::atomic<bool> ready{false};
         std::optional<support::Result<std::shared_ptr<const T>>> result;
     };
 
@@ -173,56 +186,155 @@ struct Session::Impl
     using Map = std::unordered_map<std::string,
                                    std::shared_ptr<Slot<T>>>;
 
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    StageCounters counters[kStageCount];
+    /**
+     * One cache shard: a cache-line-aligned mutex/cv pair plus an
+     * RCU-style published snapshot of the shard's key → slot map.
+     * Readers atomically load `snap` and search it lock-free; writers
+     * (misses) copy the map under `mu`, insert, and re-publish. The
+     * copy is cheap — shard maps hold a handful of shared_ptrs — and
+     * happens once per computed artifact, never per hit.
+     */
+    template <typename T>
+    struct alignas(64) Shard
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        /** Lookups that found `mu` held by another thread. */
+        std::atomic<uint64_t> conflicts{0};
+        std::atomic<std::shared_ptr<const Map<T>>> snap;
+    };
 
-    Map<ParseArtifact> parse_cache;
-    Map<CompileArtifact> compile_cache;
-    Map<AssembleArtifact> assemble_cache;
-    Map<ReorgArtifact> reorg_cache;
-    Map<VerifyArtifact> verify_cache;
-    Map<TvArtifact> tv_cache;
-    Map<SimArtifact> sim_cache;
+    template <typename T>
+    struct Cache
+    {
+        std::array<Shard<T>, kCacheShards> shards;
+
+        uint64_t
+        conflicts() const
+        {
+            uint64_t n = 0;
+            for (const Shard<T> &s : shards)
+                n += s.conflicts.load(std::memory_order_relaxed);
+            return n;
+        }
+    };
+
+    /** Per-stage counters, striped per thread (obs::Counter cells) so
+     *  the lock-free hit path never shares a cache line between
+     *  threads. `miss_ns` holds nanoseconds; stats() renders ms. */
+    struct StageLocal
+    {
+        obs::Counter hits;
+        obs::Counter misses;
+        obs::Counter wait_blocks;
+        obs::Counter miss_ns;
+    };
+    StageLocal counters[kStageCount];
+
+    Cache<ParseArtifact> parse_cache;
+    Cache<CompileArtifact> compile_cache;
+    Cache<AssembleArtifact> assemble_cache;
+    Cache<ReorgArtifact> reorg_cache;
+    Cache<VerifyArtifact> verify_cache;
+    Cache<TvArtifact> tv_cache;
+    Cache<SimArtifact> sim_cache;
+
+    uint64_t
+    shardConflicts() const
+    {
+        return parse_cache.conflicts() + compile_cache.conflicts() +
+               assemble_cache.conflicts() + reorg_cache.conflicts() +
+               verify_cache.conflicts() + tv_cache.conflicts() +
+               sim_cache.conflicts();
+    }
+
+    /** Lock a shard, counting the acquisition as a conflict (locally
+     *  and in `pipeline.cache.shard_conflicts`) when another thread
+     *  already holds it. */
+    template <typename T>
+    std::unique_lock<std::mutex>
+    lockShard(Shard<T> &shard)
+    {
+        std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+        if (!lock.owns_lock()) {
+            shard.conflicts.fetch_add(1, std::memory_order_relaxed);
+            obs::pipelineCacheShardConflicts().add();
+            lock.lock();
+        }
+        return lock;
+    }
 
     /**
      * Return the artifact for `key`, computing it with `fn` on a
-     * miss. Concurrent requests for the same key wait for the first
+     * miss. Ready entries are served lock-free; concurrent requests
+     * for the same key wait (on that key's shard only) for the first
      * computation; `fn` runs with no lock held, so stages for
      * different keys (and nested upstream-stage calls) proceed in
      * parallel.
      */
     template <typename T, typename Fn>
     support::Result<std::shared_ptr<const T>>
-    getOrCompute(Map<T> &map, Stage stage, const std::string &key,
+    getOrCompute(Cache<T> &cache, Stage stage, const std::string &key,
                  Fn &&fn)
     {
         obs::StageMetrics &om =
             obs::pipelineStageMetrics(static_cast<size_t>(stage));
         om.lookups->add();
+        StageLocal &local = counters[static_cast<size_t>(stage)];
+        Shard<T> &shard = cache.shards[cacheShardOf(key)];
+
+        // Fast path: a ready entry is immutable, so a hit is one
+        // atomic snapshot load plus a shared_ptr copy — no mutex.
+        if (std::shared_ptr<const Map<T>> snap =
+                shard.snap.load(std::memory_order_acquire)) {
+            auto it = snap->find(key);
+            if (it != snap->end() &&
+                it->second->ready.load(std::memory_order_acquire)) {
+                local.hits.add();
+                om.hits->add();
+                return *it->second->result;
+            }
+        }
+
         std::shared_ptr<Slot<T>> slot;
         {
-            std::unique_lock<std::mutex> lock(mu);
-            auto [it, inserted] = map.try_emplace(key, nullptr);
-            if (!inserted) {
-                slot = it->second;
-                if (!slot->ready) {
-                    ++counters[static_cast<size_t>(stage)].wait_blocks;
+            std::unique_lock<std::mutex> lock = lockShard(shard);
+            // `snap` only changes under `mu`, so this re-read is
+            // stable for the duration of the critical section.
+            std::shared_ptr<const Map<T>> snap =
+                shard.snap.load(std::memory_order_relaxed);
+            if (snap) {
+                auto it = snap->find(key);
+                if (it != snap->end())
+                    slot = it->second;
+            }
+            if (slot) {
+                if (!slot->ready.load(std::memory_order_acquire)) {
+                    local.wait_blocks.add();
                     om.wait_blocks->add();
-                    cv.wait(lock, [&] { return slot->ready; });
+                    shard.cv.wait(lock, [&] {
+                        return slot->ready.load(
+                            std::memory_order_acquire);
+                    });
                 }
-                ++counters[static_cast<size_t>(stage)].hits;
+                local.hits.add();
                 om.hits->add();
                 return *slot->result;
             }
             slot = std::make_shared<Slot<T>>();
-            it->second = slot;
+            auto next = snap ? std::make_shared<Map<T>>(*snap)
+                             : std::make_shared<Map<T>>();
+            (*next)[key] = slot;
+            shard.snap.store(std::move(next),
+                             std::memory_order_release);
         }
 
         // Registry mirror of the miss: counted on the throw path too,
         // so `lookups == hits + misses` holds even when a stage dies.
         Clock::time_point start = Clock::now();
         auto recordMiss = [&](double ms) {
+            local.misses.add();
+            local.miss_ns.add(static_cast<uint64_t>(ms * 1e6));
             om.misses->add();
             om.miss_us->add(static_cast<uint64_t>(ms * 1000.0));
             obs::pipelineStageMissMs().observe(ms);
@@ -235,26 +347,36 @@ struct Session::Impl
                 // Never leave waiters hung: publish an error, then
                 // rethrow for the caller.
                 recordMiss(msSince(start));
-                std::lock_guard<std::mutex> lock(mu);
-                slot->result =
-                    support::makeError("pipeline stage threw");
-                slot->ready = true;
-                cv.notify_all();
+                {
+                    std::unique_lock<std::mutex> lock =
+                        lockShard(shard);
+                    slot->result =
+                        support::makeError("pipeline stage threw");
+                    slot->ready.store(true, std::memory_order_release);
+                }
+                shard.cv.notify_all();
                 throw;
             }
         }();
-        double ms = msSince(start);
-        recordMiss(ms);
+        recordMiss(msSince(start));
         {
-            std::lock_guard<std::mutex> lock(mu);
+            std::unique_lock<std::mutex> lock = lockShard(shard);
             slot->result = std::move(result);
-            slot->ready = true;
-            StageCounters &c = counters[static_cast<size_t>(stage)];
-            ++c.misses;
-            c.miss_ms += ms;
+            slot->ready.store(true, std::memory_order_release);
         }
-        cv.notify_all();
+        shard.cv.notify_all();
         return *slot->result;
+    }
+
+    template <typename T>
+    void
+    clearCache(Cache<T> &cache)
+    {
+        for (Shard<T> &s : cache.shards) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            s.snap.store(nullptr, std::memory_order_release);
+            s.conflicts.store(0, std::memory_order_relaxed);
+        }
     }
 };
 
@@ -265,25 +387,34 @@ PipelineStats
 Session::stats() const
 {
     PipelineStats s;
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    for (size_t i = 0; i < kStageCount; ++i)
-        s.stage[i] = impl_->counters[i];
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const Impl::StageLocal &c = impl_->counters[i];
+        s.stage[i].hits = c.hits.value();
+        s.stage[i].misses = c.misses.value();
+        s.stage[i].wait_blocks = c.wait_blocks.value();
+        s.stage[i].miss_ms =
+            static_cast<double>(c.miss_ns.value()) / 1e6;
+    }
+    s.shard_conflicts = impl_->shardConflicts();
     return s;
 }
 
 void
 Session::clear()
 {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->parse_cache.clear();
-    impl_->compile_cache.clear();
-    impl_->assemble_cache.clear();
-    impl_->reorg_cache.clear();
-    impl_->verify_cache.clear();
-    impl_->tv_cache.clear();
-    impl_->sim_cache.clear();
-    for (StageCounters &c : impl_->counters)
-        c = StageCounters{};
+    impl_->clearCache(impl_->parse_cache);
+    impl_->clearCache(impl_->compile_cache);
+    impl_->clearCache(impl_->assemble_cache);
+    impl_->clearCache(impl_->reorg_cache);
+    impl_->clearCache(impl_->verify_cache);
+    impl_->clearCache(impl_->tv_cache);
+    impl_->clearCache(impl_->sim_cache);
+    for (Impl::StageLocal &c : impl_->counters) {
+        c.hits.reset();
+        c.misses.reset();
+        c.wait_blocks.reset();
+        c.miss_ns.reset();
+    }
 }
 
 // ------------------------------------------------------------ stages
@@ -390,9 +521,14 @@ Session::hazardVerify(std::string_view source,
             const ReorgRef &dep = reorg.value();
             auto artifact = std::make_shared<VerifyArtifact>();
             artifact->reorg = dep;
+            // Each computed unit feeds the verify.unit_ms histogram;
+            // cache hits replay the artifact without re-verifying and
+            // are deliberately not re-observed.
+            Clock::time_point verify_start = Clock::now();
             artifact->report = verify::verifyReorganization(
                 dep->compile->legal_unit, dep->final_unit,
                 options.verify);
+            obs::verifyUnitMs().observe(msSince(verify_start));
             return VerifyRef(artifact);
         });
 }

@@ -14,10 +14,11 @@
  *                                each reorganized unit (add --tv to also
  *                                prove each one equivalent)
  *
- * Options: --jobs N (verify corpus units on N threads; diagnostics are
- * buffered per unit and emitted in input order, so the output is
- * byte-identical to --jobs 1 — modulo wall-clock fields, which
- * --no-time suppresses for the determinism gate), --json
+ * Options: --jobs N (verify corpus units on N threads, 0 = auto: one
+ * worker per hardware thread; diagnostics are buffered per unit and
+ * emitted in input order, so the output is byte-identical to
+ * --jobs 1 — modulo wall-clock fields, which --no-time suppresses
+ * for the determinism gate), --json
  * (machine-readable report with per-unit wall time), --no-lint (hazard
  * checks only), --quiet (status only), --strict (promote notes — e.g.
  * TV090 "not proven" — to errors), --fail-fast (stop --corpus at the
@@ -52,6 +53,7 @@
 #include "asm/assembler.h"
 #include "obs/catalog.h"
 #include "obs/trace.h"
+#include "pipeline/batch.h"
 #include "pipeline/session.h"
 #include "reorg/reorganizer.h"
 #include "support/logging.h"
@@ -136,7 +138,6 @@ emit(const CliOptions &cli, mips::verify::VerifyReport report,
     using mips::support::strprintf;
     if (cli.strict)
         mips::verify::promoteNotesToErrors(&report);
-    mips::obs::verifyUnitMs().observe(elapsed_ms);
     if (cli.json) {
         *out += mips::verify::reportJson(
             report, name, cli.no_time ? -1.0 : elapsed_ms);
@@ -266,8 +267,10 @@ runFile(const CliOptions &cli)
         mips::reorg::ReorgResult result =
             mips::reorg::reorganize(unit, cli.reorg_options);
         reorganized = std::move(result.unit);
+        Clock::time_point verify_start = Clock::now();
         report = mips::verify::verifyReorganization(unit, reorganized,
                                                     cli.verify);
+        mips::obs::verifyUnitMs().observe(msSince(verify_start));
         if (cli.tv) {
             mips::verify::TvOptions tvopts;
             tvopts.alias = cli.reorg_options.alias;
@@ -277,7 +280,9 @@ runFile(const CliOptions &cli)
         }
         report_unit = &reorganized;
     } else {
+        Clock::time_point verify_start = Clock::now();
         report = mips::verify::verifyUnit(unit, cli.verify);
+        mips::obs::verifyUnitMs().observe(msSince(verify_start));
     }
     std::string out;
     bool clean = emit(cli, std::move(report), *report_unit, cli.file,
@@ -365,13 +370,17 @@ main(int argc, char **argv)
             }
             char *end = nullptr;
             long n = std::strtol(value, &end, 10);
-            if (end == value || *end != '\0' || n < 1 || n > 1024) {
+            if (end == value || *end != '\0' || n < 0 || n > 1024) {
                 std::fprintf(stderr,
                              "mipsverify: bad --jobs count '%s'\n",
                              value);
                 return 2;
             }
-            cli.jobs = static_cast<unsigned>(n);
+            // 0 means auto: one worker per hardware thread (resolved
+            // here so fail-fast wave sizing sees the real count).
+            cli.jobs = n == 0
+                           ? mips::pipeline::BatchRunner::defaultJobs()
+                           : static_cast<unsigned>(n);
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;

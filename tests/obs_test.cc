@@ -282,7 +282,8 @@ TEST(Catalog, RegisterBuiltinMetricsIsIdempotentAndComplete)
     // the full list against docs/METRICS.md.
     for (const char *name :
          {"pipeline.compile.lookups", "pipeline.stage_miss_ms",
-          "batch.queue_depth", "sim.instructions",
+          "pipeline.cache.shard_conflicts", "batch.queue_depth",
+          "batch.steals", "batch.chunk_claims", "sim.instructions",
           "sim.decode_cache.hits", "sim.tlb.hits", "verify.units",
           "verify.diag.HZ001", "verify.unit_ms", "tv.proved"}) {
         EXPECT_NE(snap.find(name), nullptr)

@@ -1,17 +1,22 @@
 /**
  * @file
  * Pipeline-session tests: cache identity and keying, parallel/serial
- * equivalence of `runAll`, counter consistency, error caching, and the
- * BatchRunner's ordering and exception contract.
+ * equivalence of `runAll`, counter consistency, error caching,
+ * same-key herd coalescing and shard distribution of the sharded
+ * cache, and the BatchRunner's ordering, stealing, queue-depth, and
+ * exception contracts.
  */
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asm/unit.h"
+#include "obs/catalog.h"
 #include "pipeline/batch.h"
 #include "pipeline/session.h"
 #include "workload/analyzers.h"
@@ -245,6 +250,85 @@ TEST(PipelineSession, SimulateMatchesWorkloadProfiler)
     EXPECT_EQ(sim.value()->refs.stores8, profiled.value().refs.stores8);
 }
 
+// A thundering herd on one key computes exactly once: every thread
+// gets the same artifact (pointer identity), latecomers either hit
+// the published slot or block on the in-flight computation — never
+// recompute.
+TEST(PipelineSession, SameKeyHerdComputesOnce)
+{
+    pipeline::Session session;
+    const char *source = workload::fibonacciProgram().source;
+    constexpr int kThreads = 32;
+
+    std::atomic<int> arrived{0};
+    std::vector<const void *> seen(kThreads, nullptr);
+    std::vector<std::thread> herd;
+    herd.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        herd.emplace_back([&, t] {
+            // Rendezvous so the requests overlap as much as the
+            // scheduler allows before anyone looks up the key.
+            arrived.fetch_add(1);
+            while (arrived.load() < kThreads)
+                std::this_thread::yield();
+            auto result = session.compile(source);
+            ASSERT_TRUE(result.ok());
+            seen[t] = result.value().get();
+        });
+    for (std::thread &t : herd)
+        t.join();
+
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+
+    const pipeline::StageCounters &c = session.stats().stage[
+        static_cast<size_t>(pipeline::Stage::COMPILE)];
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, static_cast<uint64_t>(kThreads - 1));
+    // wait_blocks counts the subset of hits that had to block on the
+    // in-flight computation; it is scheduler-dependent, but never
+    // exceeds the hits.
+    EXPECT_LE(c.wait_blocks, c.hits);
+}
+
+// The shard function must spread distinct keys across the whole
+// shard array — a constant (or near-constant) shard index would
+// silently restore the old single-lock bottleneck.
+TEST(PipelineSession, ShardFunctionSpreadsKeys)
+{
+    std::vector<size_t> population(pipeline::kCacheShards, 0);
+    constexpr size_t kKeys = 1000;
+    for (size_t i = 0; i < kKeys; ++i) {
+        std::string key =
+            "options|key-" + std::to_string(i) + "|source text";
+        size_t shard = pipeline::cacheShardOf(key);
+        ASSERT_LT(shard, pipeline::kCacheShards);
+        ++population[shard];
+    }
+    size_t mean = kKeys / pipeline::kCacheShards;
+    for (size_t s = 0; s < pipeline::kCacheShards; ++s) {
+        SCOPED_TRACE("shard " + std::to_string(s));
+        EXPECT_GT(population[s], 0u);
+        EXPECT_LT(population[s], 3 * mean);
+    }
+}
+
+// Distinct-key parallel work never blocks on an in-flight
+// computation: each program's stage keys are unique, so a corpus fan
+// out across 8 workers must finish with zero wait_blocks.
+TEST(PipelineSession, DistinctKeysNeverWait)
+{
+    pipeline::Session session;
+    pipeline::runAll(session, testCorpus(), fullChain(),
+                     pipeline::StageOptions{}, 8);
+    pipeline::PipelineStats stats = session.stats();
+    for (size_t s = 0; s < pipeline::kStageCount; ++s) {
+        SCOPED_TRACE(pipeline::stageName(
+            static_cast<pipeline::Stage>(s)));
+        EXPECT_EQ(stats.stage[s].wait_blocks, 0u);
+    }
+}
+
 // ----------------------------------------------------- BatchRunner
 
 // Results land at their input index regardless of completion order.
@@ -277,6 +361,66 @@ TEST(BatchRunner, SerialFallback)
     std::vector<int> out = runner.runAll(
         items, [](int item, size_t) { return item + 1; });
     EXPECT_EQ(out, (std::vector<int>{6, 7, 8}));
+}
+
+// jobs == 0 means auto: one worker per hardware thread.
+TEST(BatchRunner, ZeroJobsMeansAuto)
+{
+    pipeline::BatchRunner runner(0);
+    EXPECT_EQ(runner.jobs(), pipeline::BatchRunner::defaultJobs());
+    EXPECT_GE(runner.jobs(), 1u);
+    // The auto-sized runner still honours the runAll contract.
+    std::vector<int> items = {1, 2, 3, 4};
+    std::vector<int> out = runner.runAll(
+        items, [](int item, size_t) { return item * 2; });
+    EXPECT_EQ(out, (std::vector<int>{2, 4, 6, 8}));
+}
+
+// When one worker is pinned on a long item, the other must steal the
+// rest of its claimed chunk instead of idling.
+TEST(BatchRunner, IdleWorkerStealsQueuedItems)
+{
+    obs::BatchMetrics &bm = obs::batchMetrics();
+    uint64_t steals_before = bm.steals->value();
+    uint64_t chunks_before = bm.chunk_claims->value();
+
+    // 16 items across 2 workers -> chunk size 2: whichever worker
+    // claims {0, 1} sleeps 100 ms on item 0 with item 1 queued; the
+    // other drains the cursor in ~30 ms of 2 ms items and then steals
+    // item 1 off the sleeper's queue.
+    std::vector<int> items(16);
+    for (int i = 0; i < 16; ++i)
+        items[i] = i;
+    pipeline::BatchRunner runner(2);
+    std::vector<int> out =
+        runner.runAll(items, [](int item, size_t) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(item == 0 ? 100 : 2));
+            return item + 100;
+        });
+
+    ASSERT_EQ(out.size(), items.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) + 100);
+    EXPECT_GE(bm.steals->value(), steals_before + 1);
+    EXPECT_GT(bm.chunk_claims->value(), chunks_before);
+}
+
+// The queue-depth gauge tracks completions, not claims: it must read
+// 0 after every run, serial and parallel alike.
+TEST(BatchRunner, QueueDepthReturnsToZero)
+{
+    obs::BatchMetrics &bm = obs::batchMetrics();
+    std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+    for (unsigned jobs : {1u, 4u}) {
+        pipeline::BatchRunner runner(jobs);
+        runner.runAll(items, [&bm](int item, size_t) {
+            // While an item runs, the gauge counts it as outstanding.
+            EXPECT_GT(bm.queue_depth->value(), 0);
+            return item;
+        });
+        EXPECT_EQ(bm.queue_depth->value(), 0);
+    }
 }
 
 // A throwing work item propagates out of runAll; with several
