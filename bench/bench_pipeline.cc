@@ -2,7 +2,8 @@
  * @file
  * Pipeline-session throughput suite: times the full corpus tool chain
  * (compile → reorganize → hazard-verify → translation-validate →
- * simulate) through `pipeline::runAll` and writes the results to a
+ * simulate → cost-model) through `pipeline::runAll` and writes the
+ * results to a
  * machine-readable JSON file (default `BENCH_pipeline.json` in the
  * working directory, override with `--json=PATH`):
  *
@@ -13,7 +14,7 @@
  *                   each point is the best of three runs so one
  *                   scheduler hiccup does not poison the curve
  *
- * The report (schema 2) records the host's core count
+ * The report (schema 3) records the host's core count
  * (`host_cores`), the full scaling curve, and the headline
  * `parallel_speedup` (the jobs = 8 point). scripts/check.sh validates
  * the structure and applies a core-count-aware floor to
@@ -71,6 +72,7 @@ fullChain()
     spec.hazard_verify = true;
     spec.translation_validate = true;
     spec.simulate = true;
+    spec.cost_model = true;
     return spec;
 }
 
@@ -179,10 +181,10 @@ writeJson(const std::string &path, double serial_ms, double cached_ms,
         mips::support::panic("bench_pipeline: cannot write %s",
                              path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": 2,\n");
+    std::fprintf(f, "  \"schema\": 3,\n");
     std::fprintf(f, "  \"benchmark\": \"bench_pipeline\",\n");
     std::fprintf(f, "  \"metric\": \"full corpus tool-chain wall time "
-                    "(compile+reorg+verify+tv+simulate)\",\n");
+                    "(compile+reorg+verify+tv+simulate+cost)\",\n");
     std::fprintf(f, "  \"programs\": %zu,\n", benchCorpus().size());
     std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
     std::fprintf(f, "  \"jobs\": %u,\n", jobs);
@@ -218,6 +220,16 @@ writeJson(const std::string &path, double serial_ms, double cached_ms,
                      c.miss_ms, s + 1 < pl::kStageCount ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    // The cost-model stage is new in schema 3; surface its counters
+    // at top level so report consumers need not scan the stage array.
+    const pl::StageCounters &cost =
+        st.stage[static_cast<size_t>(pl::Stage::COST_MODEL)];
+    std::fprintf(f,
+                 "  \"cost_stage\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"miss_ms\": %.3f},\n",
+                 static_cast<unsigned long long>(cost.hits),
+                 static_cast<unsigned long long>(cost.misses),
+                 cost.miss_ms);
     // Embed the process-wide metrics snapshot (docs/METRICS.md), so a
     // stored BENCH_pipeline.json carries the full counter state of the
     // run it measured. Register the whole catalog first so the metric

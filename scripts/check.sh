@@ -20,6 +20,12 @@
 #                                              equivalent under the full
 #                                              reorganizer and under each
 #                                              single-stage toggle)
+#   scripts/check.sh lint [build-dir]          clang-tidy (.clang-tidy
+#                                              config) over the verify and
+#                                              pipeline layers + ctest;
+#                                              skips the tidy step with a
+#                                              notice when clang-tidy is
+#                                              not installed
 #
 # The --bench-only mode is what the `check_bench_json` CTest target
 # runs: the full mode invokes ctest itself and must not recurse.
@@ -59,6 +65,34 @@ if [ "${1:-}" = "tv" ]; then
     cmake --build "$build_dir" -j "$(nproc)" --target mipsverify
     run_tv_gate "$build_dir"
     echo "check.sh: tv green"
+    exit 0
+fi
+
+if [ "${1:-}" = "lint" ]; then
+    shift
+    build_dir=${1:-"$repo_root/build"}
+    if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+        cmake -S "$repo_root" -B "$build_dir"
+    fi
+    cmake --build "$build_dir" -j "$(nproc)"
+    if command -v clang-tidy > /dev/null 2>&1; then
+        if [ ! -f "$build_dir/compile_commands.json" ]; then
+            echo "check.sh: lint: no compile_commands.json in" \
+                "$build_dir (re-run cmake)" >&2
+            exit 1
+        fi
+        # The static-analysis layers own the strictest bar; the tidy
+        # config (.clang-tidy) promotes every enabled check to error.
+        clang-tidy -p "$build_dir" --quiet \
+            "$repo_root"/src/verify/*.cc "$repo_root"/src/pipeline/*.cc
+        echo "check.sh: lint: clang-tidy clean"
+    else
+        echo "check.sh: lint: clang-tidy not installed; skipping the" \
+            "tidy step (build + tests still gate)"
+    fi
+    ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure \
+        -E '^check_bench_json$'
+    echo "check.sh: lint green"
     exit 0
 fi
 
@@ -131,6 +165,72 @@ if [ "$bench_only" -eq 0 ]; then
     # equivalent, under the full reorganizer and each stage toggle.
     run_tv_gate "$build_dir"
 
+    # Diagnostics-JSON gate: machine output must parse as a stream of
+    # schema-1 documents whose summary blocks agree with the
+    # severity counters.
+    "$mv" --corpus --json --no-time --quiet \
+        > "$build_dir/verify-corpus.json"
+    python3 - "$build_dir/verify-corpus.json" <<'EOF'
+import json, sys
+raw = open(sys.argv[1]).read()
+dec, i, docs = json.JSONDecoder(), 0, []
+while i < len(raw):
+    while i < len(raw) and raw[i].isspace():
+        i += 1
+    if i >= len(raw):
+        break
+    doc, i = dec.raw_decode(raw, i)
+    docs.append(doc)
+if not docs:
+    sys.exit("mipsverify --json: no documents emitted")
+for doc in docs:
+    if doc.get("schema") != 1:
+        sys.exit(f"{doc.get('unit')}: diagnostics schema is not 1")
+    if sum(doc["summary"].values()) != len(doc["diagnostics"]):
+        sys.exit(f"{doc['unit']}: summary counts disagree with the "
+                 "diagnostics array")
+    by_code = {}
+    for d in doc["diagnostics"]:
+        by_code[d["code"]] = by_code.get(d["code"], 0) + 1
+    if by_code != doc["summary"]:
+        sys.exit(f"{doc['unit']}: per-code summary mismatch")
+print(f"diagnostics-json gate: {len(docs)} schema-1 documents, "
+      f"summaries consistent")
+EOF
+
+    # Cost-model parity gate: the static cycle-cost model must agree
+    # exactly with the simulator's dynamic per-word issue counts for
+    # every straight-line block of every reorganized corpus program.
+    "$mv" --corpus --cost=json --quiet --no-time \
+        > "$build_dir/cost-corpus.json"
+    python3 - "$build_dir/cost-corpus.json" <<'EOF'
+import json, sys
+raw = open(sys.argv[1]).read()
+dec, i, docs = json.JSONDecoder(), 0, []
+while i < len(raw):
+    while i < len(raw) and raw[i].isspace():
+        i += 1
+    if i >= len(raw):
+        break
+    doc, i = dec.raw_decode(raw, i)
+    docs.append(doc)
+if not docs:
+    sys.exit("mipsverify --cost=json: no documents emitted")
+checked = exact = 0
+for doc in docs:
+    parity = doc.get("parity")
+    if parity is None:
+        sys.exit(f"{doc.get('unit')}: cost report carries no parity "
+                 "sweep")
+    if parity["violations"] != 0:
+        sys.exit(f"{doc['unit']}: {parity['violations']} cost parity "
+                 f"violation(s): {parity.get('notes')}")
+    checked += parity["checked"]
+    exact += parity["exact"]
+print(f"cost parity gate: {len(docs)} programs, {checked} blocks "
+      f"checked, {exact} exact")
+EOF
+
     # Observability gate: a parallel corpus run with --stats=json must
     # emit a parseable, self-consistent registry snapshot (per stage,
     # lookups == hits + misses), and --trace-out must produce a
@@ -145,7 +245,7 @@ if stats["schema"] != 1:
     sys.exit("mipsverify --stats=json: unexpected schema")
 metrics = {m["name"]: m for m in stats["metrics"]}
 stages = ("parse", "compile", "assemble", "reorganize", "hazard-verify",
-          "translation-validate", "simulate")
+          "translation-validate", "simulate", "cost")
 for stage in stages:
     lookups = metrics[f"pipeline.{stage}.lookups"]["value"]
     hits = metrics[f"pipeline.{stage}.hits"]["value"]
@@ -209,8 +309,8 @@ python3 - "$pjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-if report.get("schema") != 2:
-    sys.exit("bench_pipeline report missing schema 2")
+if report.get("schema") != 3:
+    sys.exit("bench_pipeline report missing schema 3")
 for key in ("serial_ms", "cached_ms", "parallel_ms"):
     if report[key] <= 0:
         sys.exit(f"bench_pipeline reported non-positive {key}")
@@ -244,11 +344,16 @@ if metrics["verify.unit_ms"]["count"] <= 0:
              "histogram")
 if metrics["batch.queue_depth"]["value"] != 0:
     sys.exit("bench_pipeline left batch.queue_depth non-zero")
-if len(report["stages"]) != 7:
+if len(report["stages"]) != 8:
     sys.exit("bench_pipeline reported wrong stage count")
 misses = sum(s["misses"] for s in report["stages"])
 if misses <= 0:
     sys.exit("bench_pipeline cold run recorded no cache misses")
+cost = report["cost_stage"]
+if cost["misses"] <= 0:
+    sys.exit("bench_pipeline cold run recorded no cost-stage misses")
+if metrics["verify.cost.reports"]["value"] <= 0:
+    sys.exit("bench_pipeline snapshot recorded no cost reports")
 curve = ", ".join(f"{p['jobs']}j={p['speedup']:.2f}x" for p in scaling)
 print(f"bench_pipeline ({cores} cores): serial "
       f"{report['serial_ms']:.1f} ms, cached {report['cached_ms']:.1f} "

@@ -27,12 +27,14 @@ constexpr const char *kStageNames[kPipelineStageCount] = {
     "hazard-verify",
     "translation-validate",
     "simulate",
+    "cost",
 };
 
 constexpr const char *kDiagCodeNames[kVerifyDiagCodes] = {
     "HZ001", "HZ002", "HZ003", "HZ004", "HZ005", "HZ006",
     "LT001", "LT002", "LT003", "VF001", "VF002",
     "TV001", "TV002", "TV003", "TV004", "TV005", "TV006", "TV090",
+    "CC001", "CC002", "CC003", "CC004", "LT004",
 };
 
 StageMetrics
@@ -241,6 +243,37 @@ verifyUnitMs()
     return h;
 }
 
+CostMetrics &
+costMetrics()
+{
+    static CostMetrics m = [] {
+        Registry &r = Registry::instance();
+        CostMetrics c;
+        c.reports = &r.counter("verify.cost.reports", "count",
+                               "static cycle-cost reports computed");
+        c.functions =
+            &r.counter("verify.cost.functions", "count",
+                       "functions costed across all cost reports");
+        c.blocks = &r.counter(
+            "verify.cost.blocks", "count",
+            "straight-line blocks costed across all cost reports");
+        c.static_cycles = &r.counter(
+            "verify.cost.static_cycles", "cycles",
+            "summed static cycles for one sweep of each costed unit");
+        c.interlock_nops = &r.counter(
+            "verify.cost.interlock_nops", "count",
+            "software-interlock nop words counted by the cost model");
+        c.parity_checks = &r.counter(
+            "verify.cost.parity_checks", "count",
+            "blocks compared against simulator dynamic cycle counts");
+        c.parity_violations = &r.counter(
+            "verify.cost.parity_violations", "count",
+            "blocks whose static cost disagreed with the simulator");
+        return c;
+    }();
+    return m;
+}
+
 TvMetrics &
 tvMetrics()
 {
@@ -274,6 +307,7 @@ registerBuiltinMetrics()
     simMetrics();
     verifyMetrics();
     verifyUnitMs();
+    costMetrics();
     tvMetrics();
 }
 

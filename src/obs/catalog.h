@@ -35,7 +35,7 @@ namespace mips::obs {
 // --------------------------------------------------- pipeline session
 
 /** Mirrors pipeline::kStageCount / stageName (asserted by obs_test). */
-constexpr size_t kPipelineStageCount = 7;
+constexpr size_t kPipelineStageCount = 8;
 const char *pipelineStageName(size_t stage);
 
 /** Handles for `pipeline.<stage>.*`. Lookup/hit/miss obey
@@ -112,7 +112,7 @@ SimMetrics &simMetrics();
 // ----------------------------------------------------------- verifier
 
 /** Mirrors verify::kNumCodes / codeName (asserted by obs_test). */
-constexpr size_t kVerifyDiagCodes = 18;
+constexpr size_t kVerifyDiagCodes = 23;
 const char *verifyDiagCodeName(size_t code);
 
 /** Handles for `verify.*`: per-code diagnostic counts plus unit
@@ -131,6 +131,22 @@ VerifyMetrics &verifyMetrics();
  *  and by single-file mipsverify runs (cache hits replay without
  *  re-observing). */
 Histogram &verifyUnitMs();
+
+/** Handles for `verify.cost.*` (the static cycle-cost model).
+ *  Report counters are published once per computed cost report
+ *  (CostModel pipeline stage or single-file CLI run); parity
+ *  counters by every static-vs-dynamic comparison sweep. */
+struct CostMetrics
+{
+    Counter *reports;           ///< cost reports computed
+    Counter *functions;         ///< functions costed across reports
+    Counter *blocks;            ///< basic blocks costed across reports
+    Counter *static_cycles;     ///< summed single-sweep static cycles
+    Counter *interlock_nops;    ///< software-interlock nops counted
+    Counter *parity_checks;     ///< blocks compared against the simulator
+    Counter *parity_violations; ///< blocks whose static cost disagreed
+};
+CostMetrics &costMetrics();
 
 /** Handles for `tv.*` (translation-validation proof outcomes;
  *  units == proved + refuted + not_proven). */

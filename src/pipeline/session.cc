@@ -61,8 +61,9 @@ keyOf(const reorg::ReorgOptions &o)
 std::string
 keyOf(const verify::VerifyOptions &o)
 {
-    return strprintf("l%d;A%04x", o.lint,
-                     static_cast<unsigned>(o.assume_initialized));
+    return strprintf("l%d;i%d;A%04x;S%04x", o.lint, o.interproc,
+                     static_cast<unsigned>(o.assume_initialized),
+                     static_cast<unsigned>(o.callee_saved));
 }
 
 std::string
@@ -92,6 +93,7 @@ stageName(Stage stage)
     case Stage::HAZARD_VERIFY: return "hazard-verify";
     case Stage::TRANSLATION_VALIDATE: return "translation-validate";
     case Stage::SIMULATE: return "simulate";
+    case Stage::COST_MODEL: return "cost";
     }
     return "?";
 }
@@ -238,6 +240,7 @@ struct Session::Impl
     Cache<VerifyArtifact> verify_cache;
     Cache<TvArtifact> tv_cache;
     Cache<SimArtifact> sim_cache;
+    Cache<CostArtifact> cost_cache;
 
     uint64_t
     shardConflicts() const
@@ -245,7 +248,7 @@ struct Session::Impl
         return parse_cache.conflicts() + compile_cache.conflicts() +
                assemble_cache.conflicts() + reorg_cache.conflicts() +
                verify_cache.conflicts() + tv_cache.conflicts() +
-               sim_cache.conflicts();
+               sim_cache.conflicts() + cost_cache.conflicts();
     }
 
     /** Lock a shard, counting the acquisition as a conflict (locally
@@ -409,6 +412,7 @@ Session::clear()
     impl_->clearCache(impl_->verify_cache);
     impl_->clearCache(impl_->tv_cache);
     impl_->clearCache(impl_->sim_cache);
+    impl_->clearCache(impl_->cost_cache);
     for (Impl::StageLocal &c : impl_->counters) {
         c.hits.reset();
         c.misses.reset();
@@ -590,6 +594,8 @@ Session::simulate(std::string_view source, const StageOptions &options)
                                          dep->program.origin,
                                          machine.cpu(),
                                          &artifact->refs);
+                artifact->exec_counts = machine.cpu().execCounts(
+                    dep->program.origin, dep->final_unit.items.size());
             }
             // Fresh machine, one run: fold its counters into the
             // process-wide sim.* metrics (cache hits re-serve the
@@ -597,6 +603,34 @@ Session::simulate(std::string_view source, const StageOptions &options)
             // twice).
             sim::publishMetrics(machine);
             return SimRef(artifact);
+        });
+}
+
+support::Result<CostRef>
+Session::costModel(std::string_view source, const StageOptions &options)
+{
+    auto reorg = reorganize(source, options);
+    if (!reorg.ok())
+        return reorg.error();
+    // The model is a pure function of the reorganized unit: no
+    // verify/sim options in the key.
+    std::string key = "cost|" + keyOf(options.reorg) + "|" +
+                      keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->cost_cache, Stage::COST_MODEL, key,
+        [&]() -> support::Result<CostRef> {
+            const ReorgRef &dep = reorg.value();
+            verify::DiagnosticEngine diags(&dep->final_unit);
+            verify::Cfg cfg =
+                verify::buildCfg(dep->final_unit, &diags);
+            verify::CallGraph graph = verify::buildCallGraph(cfg);
+            auto artifact = std::make_shared<CostArtifact>();
+            artifact->reorg = dep;
+            artifact->report = verify::computeCostModel(
+                cfg, graph, "reorganized");
+            verify::publishCostMetrics(artifact->report);
+            return CostRef(artifact);
         });
 }
 
@@ -637,7 +671,7 @@ runAll(Session &session,
             bool need_reorg = stages.reorganize ||
                               stages.hazard_verify ||
                               stages.translation_validate ||
-                              stages.simulate;
+                              stages.simulate || stages.cost_model;
             if (need_reorg) {
                 auto reorg = session.reorganize(program.source, options);
                 if (!reorg.ok())
@@ -662,6 +696,12 @@ runAll(Session &session,
                 if (!sim.ok())
                     return fail(sim.error());
                 r.sim = sim.value();
+            }
+            if (stages.cost_model) {
+                auto cost = session.costModel(program.source, options);
+                if (!cost.ok())
+                    return fail(cost.error());
+                r.cost = cost.value();
             }
             r.elapsed_ms = msSince(start);
             return r;

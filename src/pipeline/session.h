@@ -10,6 +10,7 @@
  *
  *   Parse → Compile → Assemble → Reorganize → HazardVerify
  *                                → TranslationValidate → Simulate
+ *                                → CostModel
  *
  * each returning its artifact through a content-keyed cache (keyed on
  * the source text plus every stage option that can change the
@@ -55,6 +56,7 @@
 #include "reorg/reorganizer.h"
 #include "sim/cpu.h"
 #include "support/result.h"
+#include "verify/costmodel.h"
 #include "verify/tv.h"
 #include "verify/verify.h"
 #include "workload/analyzers.h"
@@ -148,6 +150,10 @@ struct SimArtifact
     uint64_t free_data_cycles = 0;
     /** Logical data references (only when SimOptions::profile). */
     workload::RefPattern refs;
+    /** Per-word issue counts over the linked image, indexed by item
+     *  (only when SimOptions::profile). Feeds the cost-model parity
+     *  oracle (verify::checkCostParity). */
+    std::vector<uint64_t> exec_counts;
 
     /** Fraction of data bandwidth left idle. */
     double
@@ -159,6 +165,15 @@ struct SimArtifact
     }
 };
 
+/** CostModel: call graph + static cycle-cost report for the
+ *  reorganized unit (verify/costmodel.h). Static only — parity
+ *  against a profiled SimArtifact is the caller's cross-check. */
+struct CostArtifact
+{
+    std::shared_ptr<const ReorgArtifact> reorg;
+    verify::CostReport report;
+};
+
 using ParseRef = std::shared_ptr<const ParseArtifact>;
 using CompileRef = std::shared_ptr<const CompileArtifact>;
 using AssembleRef = std::shared_ptr<const AssembleArtifact>;
@@ -166,6 +181,7 @@ using ReorgRef = std::shared_ptr<const ReorgArtifact>;
 using VerifyRef = std::shared_ptr<const VerifyArtifact>;
 using TvRef = std::shared_ptr<const TvArtifact>;
 using SimRef = std::shared_ptr<const SimArtifact>;
+using CostRef = std::shared_ptr<const CostArtifact>;
 
 // ------------------------------------------------------------- stats
 
@@ -179,9 +195,10 @@ enum class Stage
     HAZARD_VERIFY,
     TRANSLATION_VALIDATE,
     SIMULATE,
+    COST_MODEL,
 };
 
-constexpr size_t kStageCount = 7;
+constexpr size_t kStageCount = 8;
 
 /** Stage name for tables and logs. */
 const char *stageName(Stage stage);
@@ -270,6 +287,12 @@ class Session
     simulate(std::string_view source,
              const StageOptions &options = StageOptions{});
 
+    /** Build the call graph and static cycle-cost report for the
+     *  reorganized unit. */
+    support::Result<CostRef>
+    costModel(std::string_view source,
+              const StageOptions &options = StageOptions{});
+
     /** Snapshot the per-stage counters. */
     PipelineStats stats() const;
 
@@ -298,6 +321,7 @@ struct ChainSpec
     bool hazard_verify = false;
     bool translation_validate = false;
     bool simulate = false;
+    bool cost_model = false;
 };
 
 /** Outcome of one program's chain. Refs are null for stages that
@@ -310,6 +334,7 @@ struct ChainResult
     VerifyRef verify;
     TvRef tv;
     SimRef sim;
+    CostRef cost;
     /** First failing stage's message; empty on success. Note that a
      *  failing *report* (hazard or TV errors) is a successful chain —
      *  the artifact carries the diagnostics. */

@@ -189,6 +189,15 @@ Cpu::execCount(uint32_t pc) const
     return it == exec_sparse_.end() ? 0 : it->second;
 }
 
+std::vector<uint64_t>
+Cpu::execCounts(uint32_t base, size_t n) const
+{
+    std::vector<uint64_t> counts(n);
+    for (size_t i = 0; i < n; ++i)
+        counts[i] = execCount(base + static_cast<uint32_t>(i));
+    return counts;
+}
+
 // The noinline attributes below mark the cold exits of step(). run()
 // flattens step() into its loop; letting these bodies inline there too
 // wrecks the register allocation of the hot path (measured ~20% of the

@@ -163,6 +163,11 @@ class Cpu
     /** Times the instruction at `pc` issued since the last reset(). */
     uint64_t execCount(uint32_t pc) const;
 
+    /** Dense harvest: execCount for `n` consecutive words starting at
+     *  `base` (counts[i] == execCount(base + i)). Used by the static
+     *  cost model's parity oracle. */
+    std::vector<uint64_t> execCounts(uint32_t base, size_t n) const;
+
     // --- Host fast path -------------------------------------------------
 
     /**

@@ -221,12 +221,67 @@ buildCfg(const Unit &unit, DiagnosticEngine *diags)
         }
     }
 
+    // Classify every label reference so labeled items whose label is
+    // *only* the target of resolved local branches / direct jumps do
+    // not have to be treated as reachable from unknown code. A label
+    // is "locally resolved" when it has at least one reference, every
+    // reference is a branch or non-call direct jump whose edge was
+    // actually wired above (delay slots inside the unit), and no
+    // reference takes its address (mem operand) or calls it.
+    struct LabelRefs
+    {
+        size_t safe_refs = 0;
+        bool unsafe = false;
+    };
+    std::map<std::string, LabelRefs> label_refs;
+    for (size_t i = 0; i < n; ++i) {
+        const Item &item = unit.items[i];
+        if (item.is_data || item.target.empty())
+            continue;
+        LabelRefs &refs = label_refs[item.target];
+        if (item.inst.mem) {
+            refs.unsafe = true; // address taken (li/ld/st @label)
+        } else if (item.inst.branch) {
+            bool wired = item.inst.branch->cond != Cond::NEVER &&
+                         i + isa::kBranchDelay < n &&
+                         cfg.labels.count(item.target) &&
+                         cfg.labels[item.target] != kNoItem;
+            if (wired)
+                ++refs.safe_refs;
+            else
+                refs.unsafe = true;
+        } else if (item.inst.jump &&
+                   item.inst.jump->kind == JumpKind::DIRECT &&
+                   i + isa::kBranchDelay < n &&
+                   cfg.labels.count(item.target) &&
+                   cfg.labels[item.target] != kNoItem) {
+            ++refs.safe_refs;
+        } else {
+            refs.unsafe = true; // call target, indirect, or off-unit
+        }
+    }
+    auto locallyResolved = [&](size_t i) {
+        for (const std::string &label : unit.items[i].labels) {
+            auto it = label_refs.find(label);
+            if (it == label_refs.end() || it->second.unsafe ||
+                it->second.safe_refs == 0)
+                return false;
+            // A duplicate definition means references resolve to the
+            // other item; keep this one conservative.
+            if (cfg.labels[label] != i)
+                return false;
+        }
+        return true;
+    };
+
     // Unknown-predecessor marking: entry, labeled items (their address
-    // can be taken or reached indirectly), and trap resume points.
+    // can be taken or reached indirectly) unless every label on the
+    // item is locally resolved, and trap resume points.
     if (n > 0)
         cfg.nodes[0].unknown_pred = true;
     for (size_t i = 0; i < n; ++i) {
-        if (!unit.items[i].labels.empty())
+        if (!unit.items[i].labels.empty() &&
+            (i == 0 || !locallyResolved(i)))
             cfg.nodes[i].unknown_pred = true;
         const Item &item = unit.items[i];
         if (!item.is_data && item.inst.special &&

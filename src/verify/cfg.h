@@ -47,7 +47,8 @@ struct CfgNode
      *  target, trap handler, or execution fell off the unit). */
     bool unknown_succ = false;
     /** Control can arrive here from statically unknown code (the item
-     *  is labeled, follows a call's delay slots, or follows a trap). */
+     *  is labeled and not every reference is a resolved local branch,
+     *  follows a call's delay slots, or follows a trap). */
     bool unknown_pred = false;
     /** Delay shadow this item sits in (for the no-transfer-in-slot
      *  rule); owner is the transfer word that created the shadow. */

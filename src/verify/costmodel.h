@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Static cycle-cost model, validated against the simulator.
+ *
+ * The machine issues exactly one instruction word per cycle (the
+ * paper's software-interlock design: nops and delay slots are real
+ * words, so schedule quality is *visible* in the static code). The
+ * cost model exploits that: it partitions a unit into maximal
+ * straight-line blocks — runs of words where every word executes
+ * exactly as often as the block is entered — and prices one entry of
+ * a block at exactly its word count. Per-block static quality
+ * metrics (base instructions, software-interlock nops, delay-slot
+ * fill, packed-piece density) roll up per function and via the call
+ * graph (callee costs folded into callers, recursion flagged).
+ *
+ * The model is an *oracle*, not an estimate: checkCostParity()
+ * compares every straight-line block's static cost against the
+ * simulator's dynamic per-word execution counts and demands exact
+ * agreement (blocks containing TRAP/RFE may diverge within a
+ * declared tolerance — an exception may leave the block early).
+ * scripts/check.sh gates the whole corpus on it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/interproc.h"
+
+namespace mips::verify {
+
+/** Static cost of one maximal straight-line block. */
+struct BlockCost
+{
+    size_t first = 0;          ///< first item of the block
+    size_t count = 0;          ///< words; static cycles per entry
+    uint32_t pc = 0;           ///< address of `first`
+    size_t function = kNoFunc; ///< owning function id
+    uint64_t instructions = 0; ///< non-nop words
+    uint64_t nops = 0;         ///< software-interlock nop words
+    uint64_t packed = 0;       ///< words with both ALU and mem pieces
+    uint64_t delay_slots = 0;  ///< delay-slot words after transfers
+    uint64_t filled_slots = 0; ///< delay slots holding real work
+    /** Exact parity expected: every word executes once per entry.
+     *  False when the block contains TRAP/RFE (an exception may
+     *  leave the block early); such blocks are tolerance-bounded. */
+    bool straight_line = true;
+};
+
+/** Static cost of one function (sum over its blocks). */
+struct FunctionCost
+{
+    size_t function = kNoFunc;
+    std::string name;
+    size_t blocks = 0;
+    uint64_t words = 0; ///< static cycles for one sweep of the body
+    uint64_t instructions = 0;
+    uint64_t nops = 0;
+    uint64_t packed = 0;
+    uint64_t delay_slots = 0;
+    uint64_t filled_slots = 0;
+    /** Call-graph rollup: own words plus every resolved call site's
+     *  callee rollup (a static lower bound; saturating). Recursive
+     *  functions contribute their own body only. */
+    uint64_t rollup_words = 0;
+    size_t unresolved_calls = 0; ///< sites the rollup cannot price
+    bool recursive = false;
+};
+
+/** Unit-wide totals (data words excluded throughout). */
+struct CostTotals
+{
+    uint64_t words = 0;
+    uint64_t instructions = 0;
+    uint64_t nops = 0;
+    uint64_t packed = 0;
+    uint64_t delay_slots = 0;
+    uint64_t filled_slots = 0;
+};
+
+/** The full report for one unit. */
+struct CostReport
+{
+    std::string unit;
+    std::vector<BlockCost> blocks;
+    std::vector<FunctionCost> functions;
+    CostTotals totals;
+
+    /** Fraction of words that are software-interlock nops. */
+    double nopOverhead() const;
+    /** Fraction of delay slots holding real work (1.0 when none). */
+    double fillRate() const;
+    /** Fraction of non-nop words carrying packed ALU+mem pieces. */
+    double packedDensity() const;
+};
+
+/** Compute the model over a built CFG + call graph. */
+CostReport computeCostModel(const Cfg &cfg, const CallGraph &graph,
+                            const std::string &unit_name);
+
+/** Result of a static-vs-dynamic comparison sweep. */
+struct CostParity
+{
+    size_t checked = 0;    ///< blocks compared (entered or not)
+    size_t exact = 0;      ///< straight-line blocks, exact agreement
+    size_t bounded = 0;    ///< tolerance blocks within the bound
+    size_t violations = 0; ///< blocks where the model was wrong
+    std::vector<std::string> notes; ///< one line per violation
+};
+
+/**
+ * Compare the model against dynamic per-word execution counts
+ * (exec_counts[i] = times item i issued; from Cpu profiling). A
+ * straight-line block must agree exactly: every word's count equals
+ * the block's entry count. A TRAP/RFE block's total issue count must
+ * stay within `tolerance` (relative) of entries x words.
+ */
+CostParity checkCostParity(const CostReport &report,
+                           const std::vector<uint64_t> &exec_counts,
+                           double tolerance);
+
+/** Human rendering: per-function table plus unit totals. */
+std::string costText(const CostReport &report);
+
+/**
+ * Machine rendering (`"schema": 1`): unit name, totals, derived
+ * rates, per-function and per-block arrays; when `parity` is
+ * non-null, a `parity` object with the sweep counters and notes.
+ */
+std::string costJson(const CostReport &report,
+                     const CostParity *parity = nullptr);
+
+/** Publish verify.cost.* report counters for one computed report. */
+void publishCostMetrics(const CostReport &report);
+
+} // namespace mips::verify

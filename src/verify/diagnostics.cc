@@ -30,6 +30,11 @@ codeName(Code code)
       case Code::TV005: return "TV005";
       case Code::TV006: return "TV006";
       case Code::TV090: return "TV-UNKNOWN";
+      case Code::CC001: return "CC001";
+      case Code::CC002: return "CC002";
+      case Code::CC003: return "CC003";
+      case Code::CC004: return "CC004";
+      case Code::LT004: return "LT004";
     }
     support::panic("codeName: bad code %d", static_cast<int>(code));
 }
@@ -101,6 +106,30 @@ codeDescription(Code code)
         return "translation validation was inconclusive for a region "
                "(expression budget exhausted or an unsupported "
                "construct); the region is NOT proven equivalent";
+      case Code::CC001:
+        return "a function returns while a register the configured "
+               "calling convention declares callee-saved may still "
+               "hold a value the function wrote (clobbered without a "
+               "matching restore load)";
+      case Code::CC002:
+        return "a function overwrites the link register after entry "
+               "(a nested call or an explicit write) and reaches an "
+               "indirect return through it without restoring the saved "
+               "return address first";
+      case Code::CC003:
+        return "a function provably returns with a non-zero net stack-"
+               "pointer adjustment, or paths with provably different "
+               "adjustments join at a call or return (frames must "
+               "balance across every call edge)";
+      case Code::CC004:
+        return "a call target reads an argument register on entry, "
+               "but no definition of that register reaches the call "
+               "site in the caller";
+      case Code::LT004:
+        return "a function (or labeled region that is never fallen "
+               "into) is unreachable through the whole-program call "
+               "graph: never called, never branched to, and its "
+               "address is never taken";
     }
     support::panic("codeDescription: bad code %d",
                    static_cast<int>(code));
@@ -211,14 +240,17 @@ renderJson(const std::vector<Diagnostic> &diags, const std::string &name,
            double elapsed_ms)
 {
     size_t errors = 0, warnings = 0, notes = 0;
+    size_t per_code[kNumCodes] = {};
     for (const Diagnostic &d : diags) {
         switch (d.severity) {
           case Severity::ERROR: ++errors; break;
           case Severity::WARNING: ++warnings; break;
           case Severity::NOTE: ++notes; break;
         }
+        ++per_code[static_cast<int>(d.code)];
     }
     std::string out = "{\n";
+    out += "  \"schema\": 1,\n";
     out += support::strprintf("  \"unit\": \"%s\",\n",
                               jsonEscape(name).c_str());
     if (elapsed_ms >= 0.0)
@@ -226,6 +258,18 @@ renderJson(const std::vector<Diagnostic> &diags, const std::string &name,
     out += support::strprintf(
         "  \"errors\": %zu,\n  \"warnings\": %zu,\n  \"notes\": %zu,\n",
         errors, warnings, notes);
+    out += "  \"summary\": {";
+    bool first_code = true;
+    for (int c = 0; c < kNumCodes; ++c) {
+        if (!per_code[c])
+            continue;
+        out += support::strprintf("%s\"%s\": %zu",
+                                  first_code ? "" : ", ",
+                                  codeName(static_cast<Code>(c)),
+                                  per_code[c]);
+        first_code = false;
+    }
+    out += "},\n";
     out += "  \"diagnostics\": [";
     for (size_t i = 0; i < diags.size(); ++i) {
         const Diagnostic &d = diags[i];

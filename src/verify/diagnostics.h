@@ -3,7 +3,8 @@
  * Structured diagnostics for the static verifier.
  *
  * Every finding carries a stable code (HZ* for hazard-contract
- * violations, LT* for lint findings, VF* for structural problems), a
+ * violations, LT* for lint findings, VF* for structural problems,
+ * CC* for calling-convention violations), a
  * severity, and a location (item index / word address / source line),
  * so that tools can filter and tests can assert on exact findings.
  * Rendering is split from collection: the engine accumulates plain
@@ -50,10 +51,15 @@ enum class Code : uint8_t
     TV005,     ///< translation validation: region pairing failure
     TV006,     ///< translation validation: LO/system-state divergence
     TV090,     ///< translation validation inconclusive (TV-UNKNOWN)
+    CC001,     ///< clobbered callee-saved register at a return
+    CC002,     ///< return-address overwrite before use
+    CC003,     ///< mismatched stack adjustment across call edges
+    CC004,     ///< argument register read without reaching definition
+    LT004,     ///< interprocedurally-dead function
 };
 
 /** Number of distinct diagnostic codes. */
-constexpr int kNumCodes = static_cast<int>(Code::TV090) + 1;
+constexpr int kNumCodes = static_cast<int>(Code::LT004) + 1;
 
 /** Stable textual name of a code, e.g. "HZ001". */
 const char *codeName(Code code);
@@ -121,11 +127,13 @@ std::string renderText(const std::vector<Diagnostic> &diags,
                        const std::string &name);
 
 /**
- * Machine-readable rendering: one JSON object with the unit name,
- * per-severity totals, and a `diagnostics` array carrying code,
- * severity, pc, item index, source line, and message. When
- * `elapsed_ms` is non-negative it is included as an `elapsed_ms`
- * field (per-unit wall time, so CI can see what the gate costs).
+ * Machine-readable rendering: one JSON object (`"schema": 1`) with
+ * the unit name, per-severity totals, a per-code `summary` count
+ * block ({"HZ001": 2, ...}, codes in enum order, present codes
+ * only), and a `diagnostics` array carrying code, severity, pc,
+ * item index, source line, and message. When `elapsed_ms` is
+ * non-negative it is included as an `elapsed_ms` field (per-unit
+ * wall time, so CI can see what the gate costs).
  */
 std::string renderJson(const std::vector<Diagnostic> &diags,
                        const std::string &name,

@@ -26,6 +26,14 @@
  * (toggle individual reorganizer stages, for the per-stage validation
  * matrix in scripts/check.sh).
  *
+ * Interprocedural reporting (docs/CLI.md): --cost[=json] emits the
+ * static cycle-cost report (per function and per block; in --corpus
+ * mode each unit also runs profiled on the simulator and the static
+ * model must agree with the dynamic per-word issue counts —
+ * --cost-tolerance F bounds the TRAP-block slack), and
+ * --callgraph[=FILE] writes the resolved call graph as Graphviz dot
+ * (single-file mode only).
+ *
  * Observability (docs/METRICS.md, docs/CLI.md): --stats prints a
  * snapshot of the process-wide metrics registry after the run (as a
  * text table; --stats=json emits the {"schema":1,"metrics":[...]}
@@ -57,6 +65,8 @@
 #include "pipeline/session.h"
 #include "reorg/reorganizer.h"
 #include "support/logging.h"
+#include "verify/costmodel.h"
+#include "verify/interproc.h"
 #include "verify/tv.h"
 #include "verify/verify.h"
 #include "workload/corpus.h"
@@ -75,6 +85,11 @@ struct CliOptions
     bool no_time = false;
     bool stats = false;
     bool stats_json = false;
+    /** 0 = off, 1 = --cost (text), 2 = --cost=json. */
+    int cost = 0;
+    bool callgraph = false;
+    std::string callgraph_out; ///< empty = stdout
+    double cost_tolerance = 0.02;
     unsigned jobs = 1;
     std::string trace_out;
     mips::verify::VerifyOptions verify;
@@ -91,7 +106,9 @@ usage(FILE *to)
                  "                  [--no-reorder] [--no-pack] "
                  "[--no-fill-delay] [--quiet]\n"
                  "                  [--no-time] [--stats[=json]] "
-                 "[--trace-out FILE] file.s\n"
+                 "[--trace-out FILE]\n"
+                 "                  [--cost[=json]] [--callgraph[=FILE]] "
+                 "file.s\n"
                  "       mipsverify --corpus [--jobs N] [--tv] "
                  "[--fail-fast] [--json]\n"
                  "                  [--no-lint] [--strict] [--no-reorder] "
@@ -99,6 +116,8 @@ usage(FILE *to)
                  "                  [--no-fill-delay] [--quiet] "
                  "[--no-time]\n"
                  "                  [--stats[=json]] [--trace-out FILE]\n"
+                 "                  [--cost[=json]] "
+                 "[--cost-tolerance F]\n"
                  "       mipsverify --list-metrics\n");
 }
 
@@ -155,6 +174,29 @@ emit(const CliOptions &cli, mips::verify::VerifyReport report,
     return report.clean();
 }
 
+/** Render one unit's cost report (plus the parity sweep when the
+ *  simulator ran). Cost output ignores --quiet: it *is* the requested
+ *  report, not verification chatter. */
+std::string
+costOutput(const CliOptions &cli, const mips::verify::CostReport &report,
+           const mips::verify::CostParity *parity)
+{
+    using mips::support::strprintf;
+    if (cli.cost == 2)
+        return mips::verify::costJson(report, parity) + "\n";
+    std::string out = mips::verify::costText(report);
+    if (parity) {
+        out += strprintf("%s: cost parity: %zu block(s), %zu exact, "
+                         "%zu bounded, %zu violation(s)\n",
+                         report.unit.c_str(), parity->checked,
+                         parity->exact, parity->bounded,
+                         parity->violations);
+        for (const std::string &note : parity->notes)
+            out += "  " + note + "\n";
+    }
+    return out;
+}
+
 int
 runCorpus(const CliOptions &cli)
 {
@@ -171,6 +213,14 @@ runCorpus(const CliOptions &cli)
     mips::pipeline::ChainSpec spec;
     spec.hazard_verify = true;
     spec.translation_validate = cli.tv;
+    if (cli.cost) {
+        // The cost model is validated, not trusted: every unit also
+        // runs on the simulator with profiling on, and the static
+        // report must agree with the dynamic per-word issue counts.
+        spec.cost_model = true;
+        spec.simulate = true;
+        options.sim.profile = true;
+    }
 
     // Fail-fast still computes in parallel waves of `jobs` units, but
     // emission stops at the first failing unit, so the output matches
@@ -213,6 +263,27 @@ runCorpus(const CliOptions &cli)
                               r.reorg->final_unit, r.name, r.elapsed_ms,
                               &out);
             std::fputs(out.c_str(), stdout);
+            if (cli.cost) {
+                if (r.sim->stop != mips::sim::StopReason::HALT) {
+                    std::fprintf(stderr,
+                                 "mipsverify: %s: simulation did not "
+                                 "halt; cost parity not checked\n",
+                                 r.name.c_str());
+                    clean = false;
+                } else {
+                    mips::verify::CostReport cost = r.cost->report;
+                    cost.unit = r.name;
+                    mips::verify::CostParity parity =
+                        mips::verify::checkCostParity(
+                            cost, r.sim->exec_counts,
+                            cli.cost_tolerance);
+                    std::string cost_out =
+                        costOutput(cli, cost, &parity);
+                    std::fputs(cost_out.c_str(), stdout);
+                    if (parity.violations != 0)
+                        clean = false;
+                }
+            }
             if (!clean) {
                 ++failed;
                 if (cli.fail_fast) {
@@ -288,6 +359,42 @@ runFile(const CliOptions &cli)
     bool clean = emit(cli, std::move(report), *report_unit, cli.file,
                       msSince(start), &out);
     std::fputs(out.c_str(), stdout);
+
+    if (cli.callgraph || cli.cost) {
+        // Build over the unit that would run on the machine (the
+        // reorganized one under --reorg). Diagnostics were already
+        // reported above; this engine is scratch.
+        mips::verify::DiagnosticEngine scratch(report_unit);
+        mips::verify::Cfg cfg =
+            mips::verify::buildCfg(*report_unit, &scratch);
+        mips::verify::CallGraph graph =
+            mips::verify::buildCallGraph(cfg);
+        if (cli.callgraph) {
+            std::string dot =
+                mips::verify::callGraphDot(graph, cli.file);
+            if (cli.callgraph_out.empty()) {
+                std::fputs(dot.c_str(), stdout);
+            } else {
+                std::ofstream dot_out(cli.callgraph_out);
+                if (!dot_out) {
+                    std::fprintf(stderr,
+                                 "mipsverify: cannot write %s\n",
+                                 cli.callgraph_out.c_str());
+                    return 2;
+                }
+                dot_out << dot;
+            }
+        }
+        if (cli.cost) {
+            // Static-only in single-file mode: parity needs a whole
+            // program to simulate (--corpus --cost).
+            mips::verify::CostReport cost =
+                mips::verify::computeCostModel(cfg, graph, cli.file);
+            mips::verify::publishCostMetrics(cost);
+            std::string cost_out = costOutput(cli, cost, nullptr);
+            std::fputs(cost_out.c_str(), stdout);
+        }
+    }
     return clean ? 0 : 1;
 }
 
@@ -324,6 +431,38 @@ main(int argc, char **argv)
             cli.quiet = true;
         } else if (arg == "--no-time") {
             cli.no_time = true;
+        } else if (arg == "--cost") {
+            cli.cost = 1;
+        } else if (arg == "--cost=json") {
+            cli.cost = 2;
+        } else if (arg == "--callgraph" ||
+                   arg.rfind("--callgraph=", 0) == 0) {
+            cli.callgraph = true;
+            if (arg != "--callgraph")
+                cli.callgraph_out = arg.substr(12);
+        } else if (arg == "--cost-tolerance" ||
+                   arg.rfind("--cost-tolerance=", 0) == 0) {
+            const char *value = nullptr;
+            if (arg == "--cost-tolerance") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --cost-tolerance needs a "
+                                 "value\n");
+                    return 2;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.c_str() + 17;
+            }
+            char *end = nullptr;
+            double f = std::strtod(value, &end);
+            if (end == value || *end != '\0' || f < 0.0) {
+                std::fprintf(stderr,
+                             "mipsverify: bad --cost-tolerance '%s'\n",
+                             value);
+                return 2;
+            }
+            cli.cost_tolerance = f;
         } else if (arg == "--stats") {
             cli.stats = true;
         } else if (arg == "--stats=json") {
@@ -398,6 +537,11 @@ main(int argc, char **argv)
     }
     if (cli.corpus && !cli.file.empty()) {
         usage(stderr);
+        return 2;
+    }
+    if (cli.corpus && cli.callgraph) {
+        std::fprintf(stderr,
+                     "mipsverify: --callgraph is single-file only\n");
         return 2;
     }
     if (!cli.corpus && cli.file.empty()) {

@@ -1,6 +1,7 @@
 #include "verify/verify.h"
 
 #include "obs/catalog.h"
+#include "verify/interproc.h"
 #include "verify/passes.h"
 
 namespace mips::verify {
@@ -41,6 +42,13 @@ runPasses(const assembler::Unit &unit, const VerifyOptions &options,
     checkHazards(cfg, &engine);
     if (options.lint)
         checkLints(cfg, options, &engine);
+    if (options.interproc) {
+        CallGraph graph = buildCallGraph(cfg);
+        InterprocOptions io;
+        io.callee_saved = options.callee_saved;
+        io.assume_initialized = options.assume_initialized;
+        checkCallingConventions(graph, io, &engine);
+    }
 }
 
 } // namespace

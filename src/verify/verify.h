@@ -53,12 +53,24 @@ struct VerifyOptions
     /** Run the LT* lint passes (hazard checks always run). */
     bool lint = true;
     /**
+     * Run the interprocedural passes: call-graph construction plus
+     * the CC001-CC004 calling-convention checks and LT004 dead-
+     * function detection (see verify/interproc.h).
+     */
+    bool interproc = true;
+    /**
      * GPR mask assumed written before entry. Defaults to the ABI
      * registers the runtime contract guarantees: the global pointer,
      * stack pointer, and link register.
      */
     uint16_t assume_initialized =
         (1u << 13) | (1u << 14) | (1u << 15);
+    /**
+     * Registers the calling convention declares callee-saved (CC001).
+     * The in-tree compiler uses a caller-save convention, so the
+     * default checks nothing.
+     */
+    uint16_t callee_saved = 0;
 };
 
 /** Outcome of a verification run. */
