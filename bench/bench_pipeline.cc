@@ -2,8 +2,8 @@
  * @file
  * Pipeline-session throughput suite: times the full corpus tool chain
  * (compile → reorganize → hazard-verify → translation-validate →
- * simulate → cost-model) through `pipeline::runAll` and writes the
- * results to a
+ * simulate → cost-model → value-range) through `pipeline::runAll` and
+ * writes the results to a
  * machine-readable JSON file (default `BENCH_pipeline.json` in the
  * working directory, override with `--json=PATH`):
  *
@@ -14,7 +14,7 @@
  *                   each point is the best of three runs so one
  *                   scheduler hiccup does not poison the curve
  *
- * The report (schema 3) records the host's core count
+ * The report (schema 4) records the host's core count
  * (`host_cores`), the full scaling curve, and the headline
  * `parallel_speedup` (the jobs = 8 point). scripts/check.sh validates
  * the structure and applies a core-count-aware floor to
@@ -73,6 +73,7 @@ fullChain()
     spec.translation_validate = true;
     spec.simulate = true;
     spec.cost_model = true;
+    spec.value_range = true;
     return spec;
 }
 
@@ -181,10 +182,10 @@ writeJson(const std::string &path, double serial_ms, double cached_ms,
         mips::support::panic("bench_pipeline: cannot write %s",
                              path.c_str());
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": 3,\n");
+    std::fprintf(f, "  \"schema\": 4,\n");
     std::fprintf(f, "  \"benchmark\": \"bench_pipeline\",\n");
     std::fprintf(f, "  \"metric\": \"full corpus tool-chain wall time "
-                    "(compile+reorg+verify+tv+simulate+cost)\",\n");
+                    "(compile+reorg+verify+tv+simulate+cost+range)\",\n");
     std::fprintf(f, "  \"programs\": %zu,\n", benchCorpus().size());
     std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
     std::fprintf(f, "  \"jobs\": %u,\n", jobs);

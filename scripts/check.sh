@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, run the full test suite, statically
-# verify the whole workload corpus with mipsverify, check the
-# observability surface (--stats=json self-consistency and a loadable
-# --trace-out file), then run the simulator throughput benchmark and
-# sanity-check its JSON report (schema 1, embedded metrics snapshot).
+# verify the whole workload corpus with mipsverify (including the
+# value-range/memory-safety pass and its simulator-as-oracle fault
+# corpus under tests/data/range/), check the observability surface
+# (--stats=json self-consistency and a loadable --trace-out file),
+# then run the simulator throughput benchmark and sanity-check its
+# JSON report (schema 1, embedded metrics snapshot).
 #
 # Usage:
 #   scripts/check.sh [build-dir]               full check (default ./build)
@@ -140,6 +142,17 @@ if [ "$bench_only" -eq 0 ]; then
     ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure \
         -E '^check_bench_json$' # the bench check runs below either way
 
+    # Static-analysis hygiene: the default check runs the same tidy
+    # pass as `check.sh lint` whenever clang-tidy is on PATH (the
+    # .clang-tidy config promotes every enabled check to error).
+    if command -v clang-tidy > /dev/null 2>&1; then
+        clang-tidy -p "$build_dir" --quiet \
+            "$repo_root"/src/verify/*.cc "$repo_root"/src/pipeline/*.cc
+        echo "check.sh: clang-tidy clean"
+    else
+        echo "check.sh: clang-tidy not installed; skipping the tidy step"
+    fi
+
     # Static verification gate: every reorganized corpus program must
     # satisfy the software-interlock contract (exit 1 on any error-
     # severity diagnostic).
@@ -231,6 +244,50 @@ print(f"cost parity gate: {len(docs)} programs, {checked} blocks "
       f"checked, {exact} exact")
 EOF
 
+    # Value-range gate (1): the clean corpus must carry zero MUST
+    # memory-safety findings (the --range exit status already enforces
+    # this; the JSON pass below re-checks it structurally).
+    "$mv" --corpus --range=json --quiet --no-time \
+        > "$build_dir/range-corpus.json"
+    python3 - "$build_dir/range-corpus.json" <<'EOF'
+import json, sys
+raw = open(sys.argv[1]).read()
+dec, i, docs = json.JSONDecoder(), 0, []
+while i < len(raw):
+    while i < len(raw) and raw[i].isspace():
+        i += 1
+    if i >= len(raw):
+        break
+    doc, i = dec.raw_decode(raw, i)
+    docs.append(doc)
+if not docs:
+    sys.exit("mipsverify --range=json: no documents emitted")
+may = 0
+for doc in docs:
+    if doc.get("schema") != 1:
+        sys.exit(f"{doc.get('unit')}: range schema is not 1")
+    if doc["must_findings"] != 0:
+        sys.exit(f"{doc['unit']}: clean corpus has "
+                 f"{doc['must_findings']} MUST memory-safety "
+                 "finding(s)")
+    if doc["reachable_items"] <= 0:
+        sys.exit(f"{doc['unit']}: range analysis reached no items")
+    may += doc["may_findings"]
+print(f"value-range gate: {len(docs)} programs, 0 must findings, "
+      f"{may} may finding(s)")
+EOF
+
+    # Value-range gate (2): simulator as oracle over the fault corpus.
+    # Every dynamically observed fault/overflow event must be covered
+    # by a MUST or MAY finding at (or reachable from) its pc; mapped
+    # instruction-fetch page faults are exempt (no resident pages).
+    oracle_n=0
+    for prog in "$repo_root"/tests/data/range/*.s; do
+        "$mv" --range-oracle --quiet --no-time "$prog" > /dev/null
+        oracle_n=$((oracle_n + 1))
+    done
+    echo "check.sh: range-oracle gate clean ($oracle_n programs)"
+
     # Observability gate: a parallel corpus run with --stats=json must
     # emit a parseable, self-consistent registry snapshot (per stage,
     # lookups == hits + misses), and --trace-out must produce a
@@ -245,7 +302,7 @@ if stats["schema"] != 1:
     sys.exit("mipsverify --stats=json: unexpected schema")
 metrics = {m["name"]: m for m in stats["metrics"]}
 stages = ("parse", "compile", "assemble", "reorganize", "hazard-verify",
-          "translation-validate", "simulate", "cost")
+          "translation-validate", "simulate", "cost", "range")
 for stage in stages:
     lookups = metrics[f"pipeline.{stage}.lookups"]["value"]
     hits = metrics[f"pipeline.{stage}.hits"]["value"]
@@ -309,8 +366,8 @@ python3 - "$pjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-if report.get("schema") != 3:
-    sys.exit("bench_pipeline report missing schema 3")
+if report.get("schema") != 4:
+    sys.exit("bench_pipeline report missing schema 4")
 for key in ("serial_ms", "cached_ms", "parallel_ms"):
     if report[key] <= 0:
         sys.exit(f"bench_pipeline reported non-positive {key}")
@@ -344,7 +401,7 @@ if metrics["verify.unit_ms"]["count"] <= 0:
              "histogram")
 if metrics["batch.queue_depth"]["value"] != 0:
     sys.exit("bench_pipeline left batch.queue_depth non-zero")
-if len(report["stages"]) != 8:
+if len(report["stages"]) != 9:
     sys.exit("bench_pipeline reported wrong stage count")
 misses = sum(s["misses"] for s in report["stages"])
 if misses <= 0:
@@ -354,6 +411,11 @@ if cost["misses"] <= 0:
     sys.exit("bench_pipeline cold run recorded no cost-stage misses")
 if metrics["verify.cost.reports"]["value"] <= 0:
     sys.exit("bench_pipeline snapshot recorded no cost reports")
+by_stage = {s["stage"]: s for s in report["stages"]}
+if by_stage["range"]["misses"] <= 0:
+    sys.exit("bench_pipeline cold run recorded no range-stage misses")
+if metrics["verify.range.reports"]["value"] <= 0:
+    sys.exit("bench_pipeline snapshot recorded no range reports")
 curve = ", ".join(f"{p['jobs']}j={p['speedup']:.2f}x" for p in scaling)
 print(f"bench_pipeline ({cores} cores): serial "
       f"{report['serial_ms']:.1f} ms, cached {report['cached_ms']:.1f} "

@@ -28,6 +28,7 @@ constexpr const char *kStageNames[kPipelineStageCount] = {
     "translation-validate",
     "simulate",
     "cost",
+    "range",
 };
 
 constexpr const char *kDiagCodeNames[kVerifyDiagCodes] = {
@@ -35,6 +36,7 @@ constexpr const char *kDiagCodeNames[kVerifyDiagCodes] = {
     "LT001", "LT002", "LT003", "VF001", "VF002",
     "TV001", "TV002", "TV003", "TV004", "TV005", "TV006", "TV090",
     "CC001", "CC002", "CC003", "CC004", "LT004",
+    "MS001", "MS002", "MS003", "MS004", "MS005", "MS006",
 };
 
 StageMetrics
@@ -274,6 +276,34 @@ costMetrics()
     return m;
 }
 
+RangeMetrics &
+rangeMetrics()
+{
+    static RangeMetrics m = [] {
+        Registry &r = Registry::instance();
+        RangeMetrics v;
+        v.reports = &r.counter("verify.range.reports", "count",
+                               "value-range analyses computed");
+        v.functions = &r.counter(
+            "verify.range.functions", "count",
+            "functions analyzed across all range reports");
+        v.checked_refs = &r.counter(
+            "verify.range.checked_refs", "count",
+            "memory references checked by the range analysis");
+        v.must_findings = &r.counter(
+            "verify.range.must_findings", "count",
+            "MUST (error) memory-safety findings reported");
+        v.may_findings = &r.counter(
+            "verify.range.may_findings", "count",
+            "MAY (warning) memory-safety findings reported");
+        v.widenings = &r.counter(
+            "verify.range.widenings", "count",
+            "interval widenings applied to reach the fixpoint");
+        return v;
+    }();
+    return m;
+}
+
 TvMetrics &
 tvMetrics()
 {
@@ -308,6 +338,7 @@ registerBuiltinMetrics()
     verifyMetrics();
     verifyUnitMs();
     costMetrics();
+    rangeMetrics();
     tvMetrics();
 }
 

@@ -35,7 +35,7 @@ namespace mips::obs {
 // --------------------------------------------------- pipeline session
 
 /** Mirrors pipeline::kStageCount / stageName (asserted by obs_test). */
-constexpr size_t kPipelineStageCount = 8;
+constexpr size_t kPipelineStageCount = 9;
 const char *pipelineStageName(size_t stage);
 
 /** Handles for `pipeline.<stage>.*`. Lookup/hit/miss obey
@@ -112,7 +112,7 @@ SimMetrics &simMetrics();
 // ----------------------------------------------------------- verifier
 
 /** Mirrors verify::kNumCodes / codeName (asserted by obs_test). */
-constexpr size_t kVerifyDiagCodes = 23;
+constexpr size_t kVerifyDiagCodes = 29;
 const char *verifyDiagCodeName(size_t code);
 
 /** Handles for `verify.*`: per-code diagnostic counts plus unit
@@ -147,6 +147,22 @@ struct CostMetrics
     Counter *parity_violations; ///< blocks whose static cost disagreed
 };
 CostMetrics &costMetrics();
+
+/** Handles for `verify.range.*` (the value-range abstract
+ *  interpreter and memory-safety checker). Published once per
+ *  computed range report (VALUE_RANGE pipeline stage or single-file
+ *  `mipsverify --range` run); per-code MS counts ride the shared
+ *  `verify.diag.<CODE>` counters. */
+struct RangeMetrics
+{
+    Counter *reports;      ///< range analyses computed
+    Counter *functions;    ///< functions analyzed across reports
+    Counter *checked_refs; ///< memory references range-checked
+    Counter *must_findings;///< MUST (error) memory-safety findings
+    Counter *may_findings; ///< MAY (warning) memory-safety findings
+    Counter *widenings;    ///< interval widenings applied
+};
+RangeMetrics &rangeMetrics();
 
 /** Handles for `tv.*` (translation-validation proof outcomes;
  *  units == proved + refuted + not_proven). */

@@ -67,6 +67,13 @@ keyOf(const verify::VerifyOptions &o)
 }
 
 std::string
+keyOf(const verify::RangeCheckOptions &o)
+{
+    return strprintf("M%u;B%u;W%d", o.mem_words, o.stack_budget,
+                     o.range.widen_after);
+}
+
+std::string
 keyOf(const SimOptions &o)
 {
     return strprintf("C%llu;P%d",
@@ -94,6 +101,7 @@ stageName(Stage stage)
     case Stage::TRANSLATION_VALIDATE: return "translation-validate";
     case Stage::SIMULATE: return "simulate";
     case Stage::COST_MODEL: return "cost";
+    case Stage::VALUE_RANGE: return "range";
     }
     return "?";
 }
@@ -241,6 +249,7 @@ struct Session::Impl
     Cache<TvArtifact> tv_cache;
     Cache<SimArtifact> sim_cache;
     Cache<CostArtifact> cost_cache;
+    Cache<RangeArtifact> range_cache;
 
     uint64_t
     shardConflicts() const
@@ -248,7 +257,8 @@ struct Session::Impl
         return parse_cache.conflicts() + compile_cache.conflicts() +
                assemble_cache.conflicts() + reorg_cache.conflicts() +
                verify_cache.conflicts() + tv_cache.conflicts() +
-               sim_cache.conflicts() + cost_cache.conflicts();
+               sim_cache.conflicts() + cost_cache.conflicts() +
+               range_cache.conflicts();
     }
 
     /** Lock a shard, counting the acquisition as a conflict (locally
@@ -413,6 +423,7 @@ Session::clear()
     impl_->clearCache(impl_->tv_cache);
     impl_->clearCache(impl_->sim_cache);
     impl_->clearCache(impl_->cost_cache);
+    impl_->clearCache(impl_->range_cache);
     for (Impl::StageLocal &c : impl_->counters) {
         c.hits.reset();
         c.misses.reset();
@@ -634,6 +645,36 @@ Session::costModel(std::string_view source, const StageOptions &options)
         });
 }
 
+support::Result<RangeRef>
+Session::valueRange(std::string_view source, const StageOptions &options)
+{
+    auto reorg = reorganize(source, options);
+    if (!reorg.ok())
+        return reorg.error();
+    // Pure function of the reorganized unit plus the range knobs: no
+    // verify/sim options in the key.
+    std::string key = "range|" + keyOf(options.range) + "|" +
+                      keyOf(options.reorg) + "|" +
+                      keyOf(options.compile) + "\n";
+    key.append(source);
+    return impl_->getOrCompute(
+        impl_->range_cache, Stage::VALUE_RANGE, key,
+        [&]() -> support::Result<RangeRef> {
+            const ReorgRef &dep = reorg.value();
+            verify::DiagnosticEngine diags(&dep->final_unit);
+            verify::Cfg cfg =
+                verify::buildCfg(dep->final_unit, &diags);
+            verify::CallGraph graph = verify::buildCallGraph(cfg);
+            auto artifact = std::make_shared<RangeArtifact>();
+            artifact->reorg = dep;
+            artifact->report = verify::checkMemorySafety(
+                cfg, graph, options.range, "reorganized", &diags);
+            artifact->diags = diags.diagnostics();
+            verify::publishRangeMetrics(artifact->report);
+            return RangeRef(artifact);
+        });
+}
+
 Session &
 sharedSession()
 {
@@ -671,7 +712,8 @@ runAll(Session &session,
             bool need_reorg = stages.reorganize ||
                               stages.hazard_verify ||
                               stages.translation_validate ||
-                              stages.simulate || stages.cost_model;
+                              stages.simulate || stages.cost_model ||
+                              stages.value_range;
             if (need_reorg) {
                 auto reorg = session.reorganize(program.source, options);
                 if (!reorg.ok())
@@ -702,6 +744,12 @@ runAll(Session &session,
                 if (!cost.ok())
                     return fail(cost.error());
                 r.cost = cost.value();
+            }
+            if (stages.value_range) {
+                auto range = session.valueRange(program.source, options);
+                if (!range.ok())
+                    return fail(range.error());
+                r.range = range.value();
             }
             r.elapsed_ms = msSince(start);
             return r;

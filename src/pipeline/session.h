@@ -10,7 +10,7 @@
  *
  *   Parse → Compile → Assemble → Reorganize → HazardVerify
  *                                → TranslationValidate → Simulate
- *                                → CostModel
+ *                                → CostModel → ValueRange
  *
  * each returning its artifact through a content-keyed cache (keyed on
  * the source text plus every stage option that can change the
@@ -57,6 +57,7 @@
 #include "sim/cpu.h"
 #include "support/result.h"
 #include "verify/costmodel.h"
+#include "verify/memsafety.h"
 #include "verify/tv.h"
 #include "verify/verify.h"
 #include "workload/analyzers.h"
@@ -88,6 +89,8 @@ struct StageOptions
     /** Symbolic-execution limits for TranslationValidate (the alias
      *  discipline is taken from `reorg.alias`, which must match). */
     verify::SymLimits tv_limits;
+    /** Value-range / memory-safety knobs for the ValueRange stage. */
+    verify::RangeCheckOptions range;
     SimOptions sim;
 };
 
@@ -174,6 +177,16 @@ struct CostArtifact
     verify::CostReport report;
 };
 
+/** ValueRange: interval/alignment fixpoint + memory-safety report for
+ *  the reorganized unit (verify/memsafety.h). The MS diagnostics land
+ *  in `diags`; `report` carries the statistics and stack table. */
+struct RangeArtifact
+{
+    std::shared_ptr<const ReorgArtifact> reorg;
+    verify::RangeReport report;
+    std::vector<verify::Diagnostic> diags;
+};
+
 using ParseRef = std::shared_ptr<const ParseArtifact>;
 using CompileRef = std::shared_ptr<const CompileArtifact>;
 using AssembleRef = std::shared_ptr<const AssembleArtifact>;
@@ -182,6 +195,7 @@ using VerifyRef = std::shared_ptr<const VerifyArtifact>;
 using TvRef = std::shared_ptr<const TvArtifact>;
 using SimRef = std::shared_ptr<const SimArtifact>;
 using CostRef = std::shared_ptr<const CostArtifact>;
+using RangeRef = std::shared_ptr<const RangeArtifact>;
 
 // ------------------------------------------------------------- stats
 
@@ -196,9 +210,10 @@ enum class Stage
     TRANSLATION_VALIDATE,
     SIMULATE,
     COST_MODEL,
+    VALUE_RANGE,
 };
 
-constexpr size_t kStageCount = 8;
+constexpr size_t kStageCount = 9;
 
 /** Stage name for tables and logs. */
 const char *stageName(Stage stage);
@@ -293,6 +308,12 @@ class Session
     costModel(std::string_view source,
               const StageOptions &options = StageOptions{});
 
+    /** Run the value-range analysis and memory-safety checks over the
+     *  reorganized unit. */
+    support::Result<RangeRef>
+    valueRange(std::string_view source,
+               const StageOptions &options = StageOptions{});
+
     /** Snapshot the per-stage counters. */
     PipelineStats stats() const;
 
@@ -322,6 +343,7 @@ struct ChainSpec
     bool translation_validate = false;
     bool simulate = false;
     bool cost_model = false;
+    bool value_range = false;
 };
 
 /** Outcome of one program's chain. Refs are null for stages that
@@ -335,6 +357,7 @@ struct ChainResult
     TvRef tv;
     SimRef sim;
     CostRef cost;
+    RangeRef range;
     /** First failing stage's message; empty on success. Note that a
      *  failing *report* (hazard or TV errors) is a successful chain —
      *  the artifact carries the diagnostics. */

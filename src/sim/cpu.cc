@@ -49,6 +49,7 @@ Cpu::reset(uint32_t pc)
     error_.clear();
     exec_dense_.clear();
     exec_sparse_.clear();
+    fault_events_.clear();
     // The predecode cache survives reset: it is keyed by physical
     // address and every write that changes memory contents invalidates
     // it in place, so its entries stay accurate across resets — a
@@ -215,6 +216,22 @@ Cpu::enter(Cause cause, uint16_t detail,
            const std::array<uint32_t, 3> &ras)
 {
     ++stats_.exceptions;
+    // Per-cause fault accounting for the static value-range oracle:
+    // count (and log the first kMaxFaultEvents of) the fault classes
+    // the analysis predicts. ras[0] is the offender's restart address.
+    switch (cause) {
+      case Cause::OVERFLOW: ++stats_.overflow_traps; break;
+      case Cause::PAGE_FAULT: ++stats_.page_faults; break;
+      case Cause::ADDRESS_ERROR: ++stats_.address_errors; break;
+      default: break;
+    }
+    if ((cause == Cause::OVERFLOW || cause == Cause::PAGE_FAULT ||
+         cause == Cause::ADDRESS_ERROR) &&
+        fault_events_.size() < kMaxFaultEvents) {
+        fault_events_.push_back(
+            {cause, ras[0],
+             cause == Cause::OVERFLOW ? 0 : fault_addr_});
+    }
     ra_ = ras;
     sr_.enterException(cause, detail);
     map_.flushTlb(); // mapping off + privilege swap

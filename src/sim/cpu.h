@@ -93,6 +93,13 @@ struct CpuStats
     uint64_t traps = 0;
     uint64_t exceptions = 0;      ///< all causes, including traps
     uint64_t free_data_cycles = 0;///< cycles with the data port idle
+    /** Per-cause fault accounting (read-only export for the static
+     *  value-range oracle, verify/memsafety.h): how many exceptions
+     *  were overflow traps, mapping page faults, and address errors.
+     *  All three are included in `exceptions` above. */
+    uint64_t overflow_traps = 0;
+    uint64_t page_faults = 0;
+    uint64_t address_errors = 0;
 
     /**
      * Fraction of data-memory bandwidth left unused: the Section 3.1
@@ -152,6 +159,30 @@ class Cpu
 
     const CpuStats &stats() const { return stats_; }
     void clearStats() { stats_ = CpuStats{}; }
+
+    /**
+     * One observed fault event (overflow trap, page fault, or address
+     * error). `pc` is the restart address of the offending word —
+     * for the static oracle this maps back onto a unit item as
+     * `pc - origin`. `addr` is the faulting data/virtual address
+     * (0 for overflow traps, which have none).
+     */
+    struct FaultEvent
+    {
+        Cause cause = Cause::NONE;
+        uint32_t pc = 0;
+        uint32_t addr = 0;
+    };
+
+    /** The first kMaxFaultEvents fault events since the last reset(),
+     *  in order. A handler-less program restarts at the dispatch ROM
+     *  and may fault in a loop, so the log is bounded; the per-cause
+     *  CpuStats counters keep exact totals. */
+    static constexpr size_t kMaxFaultEvents = 64;
+    const std::vector<FaultEvent> &faultEvents() const
+    {
+        return fault_events_;
+    }
 
     // --- Profiling ------------------------------------------------------
 
@@ -245,6 +276,7 @@ class Cpu
     std::string error_;
 
     CpuStats stats_;
+    std::vector<FaultEvent> fault_events_;
 
     // Profiling state: dense counters for the PCs real programs use,
     // with a hash-map overflow for pathological (wild-jump) addresses.

@@ -35,6 +35,12 @@ codeName(Code code)
       case Code::CC003: return "CC003";
       case Code::CC004: return "CC004";
       case Code::LT004: return "LT004";
+      case Code::MS001: return "MS001";
+      case Code::MS002: return "MS002";
+      case Code::MS003: return "MS003";
+      case Code::MS004: return "MS004";
+      case Code::MS005: return "MS005";
+      case Code::MS006: return "MS006";
     }
     support::panic("codeName: bad code %d", static_cast<int>(code));
 }
@@ -130,6 +136,32 @@ codeDescription(Code code)
                "into) is unreachable through the whole-program call "
                "graph: never called, never branched to, and its "
                "address is never taken";
+      case Code::MS001:
+        return "the value-range analysis proves (error/MUST) or cannot "
+               "exclude on a narrowed range (warning/MAY) that a load "
+               "or store's effective word address lies outside physical "
+               "memory [0, mem_words)";
+      case Code::MS002:
+        return "a base-shifted word access discards provably non-zero "
+               "low bits of its byte index: the hardware silently reads "
+               "the containing word, so a word-sized object accessed "
+               "through an unaligned byte pointer is truncated";
+      case Code::MS003:
+        return "with memory mapping enabled, a reference's system-"
+               "virtual address falls in the gap between the two valid "
+               "segments (the hardware raises ADDRESS_ERROR)";
+      case Code::MS004:
+        return "an ADD/SUB/RSUB provably (error/MUST) or possibly on a "
+               "narrowed range (warning/MAY) overflows signed 32-bit "
+               "arithmetic while overflow traps are enabled";
+      case Code::MS005:
+        return "the worst-case stack depth, rolled up over the call "
+               "graph, exceeds the configured --stack-budget (recursive "
+               "call-graph cycles make the depth unbounded)";
+      case Code::MS006:
+        return "every execution path from the unit entry to an exit "
+               "passes through an instruction that must fault: the "
+               "program cannot complete without taking an exception";
     }
     support::panic("codeDescription: bad code %d",
                    static_cast<int>(code));

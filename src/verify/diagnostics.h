@@ -4,7 +4,8 @@
  *
  * Every finding carries a stable code (HZ* for hazard-contract
  * violations, LT* for lint findings, VF* for structural problems,
- * CC* for calling-convention violations), a
+ * CC* for calling-convention violations, MS* for memory-safety
+ * findings from the value-range analysis), a
  * severity, and a location (item index / word address / source line),
  * so that tools can filter and tests can assert on exact findings.
  * Rendering is split from collection: the engine accumulates plain
@@ -56,10 +57,16 @@ enum class Code : uint8_t
     CC003,     ///< mismatched stack adjustment across call edges
     CC004,     ///< argument register read without reaching definition
     LT004,     ///< interprocedurally-dead function
+    MS001,     ///< out-of-bounds load/store (outside physical memory)
+    MS002,     ///< misaligned word access via byte-pointer arithmetic
+    MS003,     ///< reference into the unmapped segmentation gap
+    MS004,     ///< provable signed overflow with traps enabled
+    MS005,     ///< worst-case stack depth exceeds the budget
+    MS006,     ///< a fault lies on every path to exit
 };
 
 /** Number of distinct diagnostic codes. */
-constexpr int kNumCodes = static_cast<int>(Code::LT004) + 1;
+constexpr int kNumCodes = static_cast<int>(Code::MS006) + 1;
 
 /** Stable textual name of a code, e.g. "HZ001". */
 const char *codeName(Code code);

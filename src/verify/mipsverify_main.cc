@@ -34,6 +34,17 @@
  * --callgraph[=FILE] writes the resolved call graph as Graphviz dot
  * (single-file mode only).
  *
+ * Value-range / memory-safety reporting (docs/CLI.md): --range[=json]
+ * runs the interval/alignment abstract interpreter over the unit and
+ * folds the MS001-MS006 findings into the verify report (the stats +
+ * per-function stack table print after it), --stack-budget N enables
+ * the MS005 worst-case stack-depth gate, and --range-oracle
+ * (single-file only) additionally runs the linked unit on the
+ * simulator and checks that every observed fault/overflow event was
+ * predicted by a MUST or MAY finding — the exit status then reports
+ * the coverage verdict alone, which is what the scripts/check.sh
+ * simulator-as-oracle gate consumes.
+ *
  * Observability (docs/METRICS.md, docs/CLI.md): --stats prints a
  * snapshot of the process-wide metrics registry after the run (as a
  * text table; --stats=json emits the {"schema":1,"metrics":[...]}
@@ -64,12 +75,23 @@
 #include "pipeline/batch.h"
 #include "pipeline/session.h"
 #include "reorg/reorganizer.h"
+#include "sim/machine.h"
 #include "support/logging.h"
 #include "verify/costmodel.h"
 #include "verify/interproc.h"
+#include "verify/memsafety.h"
 #include "verify/tv.h"
 #include "verify/verify.h"
 #include "workload/corpus.h"
+
+// The memsafety layer mirrors sim::Cause so it can stay simulator-
+// free; this is where the mirror is checked.
+static_assert(mips::verify::kFaultOverflow ==
+              static_cast<uint8_t>(mips::sim::Cause::OVERFLOW));
+static_assert(mips::verify::kFaultPageFault ==
+              static_cast<uint8_t>(mips::sim::Cause::PAGE_FAULT));
+static_assert(mips::verify::kFaultAddressError ==
+              static_cast<uint8_t>(mips::sim::Cause::ADDRESS_ERROR));
 
 namespace {
 
@@ -87,6 +109,10 @@ struct CliOptions
     bool stats_json = false;
     /** 0 = off, 1 = --cost (text), 2 = --cost=json. */
     int cost = 0;
+    /** 0 = off, 1 = --range (text), 2 = --range=json. */
+    int range = 0;
+    bool range_oracle = false;
+    uint32_t stack_budget = 0;
     bool callgraph = false;
     std::string callgraph_out; ///< empty = stdout
     double cost_tolerance = 0.02;
@@ -108,6 +134,8 @@ usage(FILE *to)
                  "                  [--no-time] [--stats[=json]] "
                  "[--trace-out FILE]\n"
                  "                  [--cost[=json]] [--callgraph[=FILE]] "
+                 "[--range[=json]]\n"
+                 "                  [--stack-budget N] [--range-oracle] "
                  "file.s\n"
                  "       mipsverify --corpus [--jobs N] [--tv] "
                  "[--fail-fast] [--json]\n"
@@ -118,6 +146,7 @@ usage(FILE *to)
                  "                  [--stats[=json]] [--trace-out FILE]\n"
                  "                  [--cost[=json]] "
                  "[--cost-tolerance F]\n"
+                 "                  [--range[=json]] [--stack-budget N]\n"
                  "       mipsverify --list-metrics\n");
 }
 
@@ -197,6 +226,67 @@ costOutput(const CliOptions &cli, const mips::verify::CostReport &report,
     return out;
 }
 
+/** Fold loose diagnostics (the MS findings of a range run) into the
+ *  main report's list and severity counters. */
+void
+mergeDiagnostics(mips::verify::VerifyReport *into,
+                 const std::vector<mips::verify::Diagnostic> &diags)
+{
+    for (const mips::verify::Diagnostic &d : diags) {
+        into->diagnostics.push_back(d);
+        switch (d.severity) {
+        case mips::verify::Severity::ERROR: ++into->errors; break;
+        case mips::verify::Severity::WARNING: ++into->warnings; break;
+        case mips::verify::Severity::NOTE: ++into->notes; break;
+        }
+    }
+}
+
+/** Render one unit's range report. Like --cost, this ignores --quiet:
+ *  it *is* the requested report. */
+std::string
+rangeOutput(const CliOptions &cli,
+            const mips::verify::RangeReport &report)
+{
+    if (cli.range == 2)
+        return mips::verify::rangeJson(report);
+    return mips::verify::rangeText(report);
+}
+
+/** Run the linked unit on the simulator and match every observed
+ *  fault/overflow event against the static MS findings. Returns the
+ *  gate verdict (0 covered, 1 not) and appends the summary to `out`. */
+int
+runRangeOracle(const mips::assembler::Unit &unit,
+               const std::string &name,
+               const std::vector<mips::verify::Diagnostic> &diags,
+               std::string *out)
+{
+    using mips::support::strprintf;
+    auto program = mips::assembler::link(unit);
+    if (!program.ok()) {
+        std::fprintf(stderr, "mipsverify: %s: link failed: %s\n",
+                     name.c_str(), program.error().message.c_str());
+        return 2;
+    }
+    mips::sim::Machine machine;
+    machine.load(program.value());
+    machine.cpu().run(10'000'000);
+    std::vector<mips::verify::ObservedFault> faults;
+    for (const mips::sim::Cpu::FaultEvent &e :
+         machine.cpu().faultEvents())
+        faults.push_back({static_cast<uint8_t>(e.cause), e.pc, e.addr});
+    mips::verify::FaultCoverage cov = mips::verify::checkFaultCoverage(
+        diags, program.value().origin, unit.items.size(), faults);
+    *out += strprintf("%s: range-oracle: %zu event(s), %zu covered, "
+                      "%zu exempt\n",
+                      name.c_str(), cov.events, cov.covered,
+                      cov.exempt);
+    for (const std::string &note : cov.notes)
+        *out += "  " + note + "\n";
+    return cov.ok() ? 0 : 1;
+}
+
 int
 runCorpus(const CliOptions &cli)
 {
@@ -220,6 +310,10 @@ runCorpus(const CliOptions &cli)
         spec.cost_model = true;
         spec.simulate = true;
         options.sim.profile = true;
+    }
+    if (cli.range) {
+        spec.value_range = true;
+        options.range.stack_budget = cli.stack_budget;
     }
 
     // Fail-fast still computes in parallel waves of `jobs` units, but
@@ -258,6 +352,8 @@ runCorpus(const CliOptions &cli)
             mips::verify::VerifyReport report = r.verify->report;
             if (cli.tv)
                 mergeReport(&report, r.tv->report);
+            if (cli.range)
+                mergeDiagnostics(&report, r.range->diags);
             std::string out;
             bool clean = emit(cli, std::move(report),
                               r.reorg->final_unit, r.name, r.elapsed_ms,
@@ -283,6 +379,12 @@ runCorpus(const CliOptions &cli)
                     if (parity.violations != 0)
                         clean = false;
                 }
+            }
+            if (cli.range) {
+                mips::verify::RangeReport range = r.range->report;
+                range.unit = r.name;
+                std::string range_out = rangeOutput(cli, range);
+                std::fputs(range_out.c_str(), stdout);
             }
             if (!clean) {
                 ++failed;
@@ -355,15 +457,15 @@ runFile(const CliOptions &cli)
         report = mips::verify::verifyUnit(unit, cli.verify);
         mips::obs::verifyUnitMs().observe(msSince(verify_start));
     }
-    std::string out;
-    bool clean = emit(cli, std::move(report), *report_unit, cli.file,
-                      msSince(start), &out);
-    std::fputs(out.c_str(), stdout);
-
-    if (cli.callgraph || cli.cost) {
+    // Extra reports print after the verify report; the range findings
+    // themselves fold *into* it, so the analysis runs before emit.
+    std::string extra_out;
+    int oracle_status = -1; // -1 = oracle not requested
+    bool range_needed = cli.range || cli.range_oracle;
+    if (cli.callgraph || cli.cost || range_needed) {
         // Build over the unit that would run on the machine (the
-        // reorganized one under --reorg). Diagnostics were already
-        // reported above; this engine is scratch.
+        // reorganized one under --reorg). Structural diagnostics were
+        // already reported above; this engine is scratch.
         mips::verify::DiagnosticEngine scratch(report_unit);
         mips::verify::Cfg cfg =
             mips::verify::buildCfg(*report_unit, &scratch);
@@ -373,7 +475,7 @@ runFile(const CliOptions &cli)
             std::string dot =
                 mips::verify::callGraphDot(graph, cli.file);
             if (cli.callgraph_out.empty()) {
-                std::fputs(dot.c_str(), stdout);
+                extra_out += dot;
             } else {
                 std::ofstream dot_out(cli.callgraph_out);
                 if (!dot_out) {
@@ -391,10 +493,40 @@ runFile(const CliOptions &cli)
             mips::verify::CostReport cost =
                 mips::verify::computeCostModel(cfg, graph, cli.file);
             mips::verify::publishCostMetrics(cost);
-            std::string cost_out = costOutput(cli, cost, nullptr);
-            std::fputs(cost_out.c_str(), stdout);
+            extra_out += costOutput(cli, cost, nullptr);
+        }
+        if (range_needed) {
+            mips::verify::DiagnosticEngine range_diags(report_unit);
+            mips::verify::RangeCheckOptions ropts;
+            ropts.stack_budget = cli.stack_budget;
+            mips::verify::RangeReport range =
+                mips::verify::checkMemorySafety(cfg, graph, ropts,
+                                                cli.file, &range_diags);
+            mips::verify::publishRangeMetrics(range);
+            mergeDiagnostics(&report, range_diags.diagnostics());
+            if (cli.range)
+                extra_out += rangeOutput(cli, range);
+            if (cli.range_oracle) {
+                oracle_status =
+                    runRangeOracle(*report_unit, cli.file,
+                                   range_diags.diagnostics(),
+                                   &extra_out);
+                if (oracle_status == 2)
+                    return 2;
+            }
         }
     }
+
+    std::string out;
+    bool clean = emit(cli, std::move(report), *report_unit, cli.file,
+                      msSince(start), &out);
+    std::fputs(out.c_str(), stdout);
+    std::fputs(extra_out.c_str(), stdout);
+
+    // Under --range-oracle the exit status is the coverage verdict
+    // alone: the fault corpus *intends* to contain MS errors.
+    if (oracle_status >= 0)
+        return oracle_status;
     return clean ? 0 : 1;
 }
 
@@ -435,6 +567,36 @@ main(int argc, char **argv)
             cli.cost = 1;
         } else if (arg == "--cost=json") {
             cli.cost = 2;
+        } else if (arg == "--range") {
+            cli.range = 1;
+        } else if (arg == "--range=json") {
+            cli.range = 2;
+        } else if (arg == "--range-oracle") {
+            cli.range_oracle = true;
+        } else if (arg == "--stack-budget" ||
+                   arg.rfind("--stack-budget=", 0) == 0) {
+            const char *value = nullptr;
+            if (arg == "--stack-budget") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --stack-budget needs a "
+                                 "word count\n");
+                    return 2;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.c_str() + 15;
+            }
+            char *end = nullptr;
+            long n = std::strtol(value, &end, 10);
+            if (end == value || *end != '\0' || n <= 0 ||
+                n > 0x7fffffff) {
+                std::fprintf(stderr,
+                             "mipsverify: bad --stack-budget '%s'\n",
+                             value);
+                return 2;
+            }
+            cli.stack_budget = static_cast<uint32_t>(n);
         } else if (arg == "--callgraph" ||
                    arg.rfind("--callgraph=", 0) == 0) {
             cli.callgraph = true;
@@ -542,6 +704,11 @@ main(int argc, char **argv)
     if (cli.corpus && cli.callgraph) {
         std::fprintf(stderr,
                      "mipsverify: --callgraph is single-file only\n");
+        return 2;
+    }
+    if (cli.corpus && cli.range_oracle) {
+        std::fprintf(stderr,
+                     "mipsverify: --range-oracle is single-file only\n");
         return 2;
     }
     if (!cli.corpus && cli.file.empty()) {

@@ -1,0 +1,5 @@
+; Clean twin of abs_load_oob: the highest *valid* word address.
+; No findings, no dynamic events.
+        ld @0xFFFFF, r1
+        nop
+        halt

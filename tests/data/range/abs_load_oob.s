@@ -1,0 +1,7 @@
+; MS001 MUST + MS006: an absolute load past physical memory on the
+; only path. Dynamically the load takes an ADDRESS_ERROR, re-enters at
+; the vector (address 0 = this entry), and faults again — the oracle
+; must see every event covered by the MS001 finding at this pc.
+        ld @0x1FFFFF, r1
+        nop
+        halt

@@ -1,0 +1,15 @@
+; MS001 MUST (store): one word past the last physical word. The flag
+; guard makes the post-fault re-entry (vector = entry) halt, so the
+; simulator observes exactly one ADDRESS_ERROR event.
+        ld @flag, r2
+        nop
+        bne r2, #0, done
+        nop
+        li #1, r3
+        st r3, @flag
+        st r3, @0x100000
+        halt
+done:
+        halt
+flag:
+        .word 0

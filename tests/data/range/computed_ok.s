@@ -1,0 +1,12 @@
+; Clean twin of computed_oob_may: the same masked-index shape on a
+; base far from the memory limit. [0x8000, 0x800F] is entirely valid,
+; so the narrowed interval produces no finding and no event.
+        ldi #0x8000, r4
+        nop
+        ld @offs, r5
+        nop
+        and r5, #15, r5
+        ld (r4+r5), r6
+        halt
+offs:
+        .word 12

@@ -1,0 +1,24 @@
+; MS001 MAY: base 0xFFFF8 plus a masked unknown index in [0, 15] —
+; the address interval [0xFFFF8, 0x100007] straddles the end of
+; physical memory, so the checker can warn but not prove. The data
+; word makes the dynamic index 12, so the run does fault, and the
+; oracle accepts the MAY finding as coverage.
+        ld @flag, r2
+        nop
+        bne r2, #0, done
+        nop
+        li #1, r3
+        st r3, @flag
+        ldi #0xFFFF8, r4
+        nop
+        ld @offs, r5
+        nop
+        and r5, #15, r5
+        ld (r4+r5), r6
+        halt
+done:
+        halt
+flag:
+        .word 0
+offs:
+        .word 12

@@ -1,0 +1,18 @@
+; MS001 MUST through a computed (base+index) address: the base is a
+; provable constant 0x100000 = one past physical memory. Flag-guarded
+; so the run halts after one ADDRESS_ERROR.
+        ld @flag, r2
+        nop
+        bne r2, #0, done
+        nop
+        li #1, r3
+        st r3, @flag
+        ldi #0xFFFFF, r4
+        nop
+        add r4, #1, r4          ; 0x100000: ldi tops out at 2^20-1
+        ld (r4+r0), r5
+        halt
+done:
+        halt
+flag:
+        .word 0

@@ -1,0 +1,12 @@
+; MS003 MUST: with mapping on at seg_bits 8 each segment is 2^15
+; words, so address 40000 falls in the unmapped gap between the low
+; and high segments. Dynamically every mapped fetch page-faults (no
+; resident pages), which the oracle exempts — the ADDRESS_ERROR never
+; surfaces, but the static finding stands.
+        li #8, r1
+        mts r1, segbits
+        li #0x41, r2            ; priv | map_enable
+        mts r2, sr
+        ld @40000, r3
+        nop
+        halt

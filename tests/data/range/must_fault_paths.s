@@ -1,0 +1,16 @@
+; MS006: both sides of the branch end in a must-fault store, so every
+; path from entry to an exit faults. Deliberately unguarded — a guard
+; would create a clean exit and kill the MS006 proof. The simulator
+; loops through the vector until the event cap; every ADDRESS_ERROR
+; is covered by one of the MS001 findings.
+        ld @sel, r1
+        nop
+        beq r1, #0, left
+        nop
+        st r1, @0x100001
+        halt
+left:
+        st r1, @0x100002
+        halt
+sel:
+        .word 0

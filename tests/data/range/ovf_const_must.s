@@ -1,0 +1,24 @@
+; MS004 MUST: with overflow traps enabled, INT32_MAX + 1 provably
+; overflows. 0x7FFFFFFF is built by shift/or since ldi is limited to
+; 21 signed bits. Flag-guarded: one OVERFLOW event, then the re-entry
+; (traps cleared by the exception) halts cleanly.
+        ld @flag, r2
+        nop
+        bne r2, #0, done
+        nop
+        li #1, r3
+        st r3, @flag
+        li #0x11, r1            ; priv | ovf_enable
+        mts r1, sr
+        ldi #0xFFFFF, r4
+        nop
+        sll r4, #11, r4         ; 0x7FFFF800
+        ldi #0x7FF, r5
+        nop
+        or r4, r5, r4           ; 0x7FFFFFFF
+        add r4, #1, r6
+        halt
+done:
+        halt
+flag:
+        .word 0

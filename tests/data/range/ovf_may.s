@@ -1,0 +1,29 @@
+; MS004 MAY: base 0x7FFFFFF8 plus a masked unknown addend in [0, 15]
+; — the sum interval straddles INT32_MAX, so overflow is possible but
+; not provable. The data word makes the dynamic addend 12, which does
+; overflow; the oracle accepts the MAY finding as coverage.
+        ld @flag, r2
+        nop
+        bne r2, #0, done
+        nop
+        li #1, r3
+        st r3, @flag
+        li #0x11, r1            ; priv | ovf_enable
+        mts r1, sr
+        ldi #0xFFFFF, r4
+        nop
+        sll r4, #11, r4         ; 0x7FFFF800
+        ldi #0x7F8, r5
+        nop
+        or r4, r5, r4           ; 0x7FFFFFF8
+        ld @addend, r5
+        nop
+        and r5, #15, r5
+        add r4, r5, r6
+        halt
+done:
+        halt
+flag:
+        .word 0
+addend:
+        .word 12

@@ -1,0 +1,41 @@
+; MS005: a three-deep call chain where every callee pushes 8 words.
+; Rollups: f3 = 8, f2 = 16, f1 = 24, so --stack-budget 16 flags f1.
+; The entry initializes sp by a load-class write (ldi), which the
+; analyzer reports as unknown own-depth — intentional: only the
+; balanced callees get numeric rollups. No dynamic fault events.
+        ldi #0x80000, r14
+        nop
+        call f1, r15
+        nop
+        halt
+f1:
+        sub r14, #8, r14
+        st r15, 0(r14)
+        call f2, r15
+        nop
+        ld 0(r14), r15
+        nop
+        add r14, #8, r14
+        jmp (r15)
+        nop
+        nop
+f2:
+        sub r14, #8, r14
+        st r15, 0(r14)
+        call f3, r15
+        nop
+        ld 0(r14), r15
+        nop
+        add r14, #8, r14
+        jmp (r15)
+        nop
+        nop
+f3:
+        sub r14, #8, r14
+        st r15, 0(r14)
+        ld 0(r14), r15
+        nop
+        add r14, #8, r14
+        jmp (r15)
+        nop
+        nop

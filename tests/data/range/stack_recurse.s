@@ -1,0 +1,25 @@
+; MS005 (unbounded): a self-recursive function. The static analysis
+; cannot bound the depth, so any positive --stack-budget flags it as
+; unbounded. Dynamically the counter stops the recursion at depth 10
+; and the program halts with no fault events.
+        ldi #0x80000, r14
+        nop
+        li #10, r2
+        call rec, r15
+        nop
+        halt
+rec:
+        sub r14, #8, r14
+        st r15, 0(r14)
+        sub r2, #1, r2
+        beq r2, #0, unwind
+        nop
+        call rec, r15
+        nop
+unwind:
+        ld 0(r14), r15
+        nop
+        add r14, #8, r14
+        jmp (r15)
+        nop
+        nop

@@ -292,6 +292,82 @@ TEST(Golden, Cc003BalancedFrameIsClean)
     EXPECT_EQ(report.countOf(Code::CC003), 0u) << dump(report, u);
 }
 
+TEST(Golden, Cc003UntrackedStackWriteStaysSilent)
+{
+    // The frame is never freed, but the final stack-pointer write
+    // copies from another register — an untracked write poisons the
+    // delta lattice (Delta::GIVEUP) and the check must stay silent
+    // rather than guess at the net adjustment.
+    Unit u = parseUnit(
+        "call f, r15\n"
+        "nop\n"
+        "halt\n"
+        "f: sub r14, #2, r14\n"
+        "add r9, #0, r14\n"
+        "jmp (r15)\n"
+        "nop\n");
+    VerifyReport report = verifyUnit(u);
+    EXPECT_EQ(report.countOf(Code::CC003), 0u) << dump(report, u);
+}
+
+TEST(Golden, Cc003UnknownAdjustAmountStaysSilent)
+{
+    // sp-relative adjustment by a register with no constant reaching
+    // definition: also Delta::GIVEUP, also silent — even though the
+    // frame provably is not freed by a matching add.
+    Unit u = parseUnit(
+        "call f, r15\n"
+        "nop\n"
+        "halt\n"
+        "f: sub r14, r9, r14\n"
+        "jmp (r15)\n"
+        "nop\n");
+    VerifyReport report = verifyUnit(u);
+    EXPECT_EQ(report.countOf(Code::CC003), 0u) << dump(report, u);
+}
+
+TEST(Golden, Cc003RetargetedCallShiftsResumeDelta)
+{
+    // A call into a secondary entry skips the callee's one-word
+    // prologue; the caller performs that adjustment in the delay slot.
+    // The resume edge must shift the caller's delta by the callee's
+    // provable net effect from that entry (ResumeFix::SHIFT, here
+    // +2): with the shift the caller balances; without it this would
+    // be a false CC003 at c's return.
+    Unit u = parseUnit(
+        "call c, r15\n"          // 0
+        "nop\n"                  // 1
+        "halt\n"                 // 2
+        "c: st r15, 4(r14)\n"    // 3: save the link above the frame
+        "call f2, r15\n"         // 4: enters past f's prologue
+        "sub r14, #2, r14\n"     // 5: slot performs the skipped sub
+        "ld 4(r14), r15\n"       // 6: resume, sp balanced again
+        "nop\n"                  // 7
+        "jmp (r15)\n"            // 8
+        "nop\n"                  // 9
+        "nop\n"                  // 10
+        "f: sub r14, #2, r14\n"  // 11: prologue (skipped by the call)
+        "f2: st r15, 0(r14)\n"   // 12: secondary entry
+        "ld 0(r14), r15\n"       // 13
+        "nop\n"                  // 14
+        "add r14, #2, r14\n"     // 15
+        "jmp (r15)\n"            // 16
+        "nop\n"                  // 17
+        "nop\n");                // 18
+    Cfg cfg = buildCfg(u, nullptr);
+    CallGraph g = buildCallGraph(cfg);
+    size_t f = funcNamed(g, "f");
+    ASSERT_NE(f, kNoFunc);
+    EXPECT_EQ(g.functions[f].entries, (std::vector<size_t>{11, 12}));
+    bool retargeted = false;
+    for (const CallSite &s : g.sites)
+        if (s.resolved() && s.callee == f && s.entered == 12)
+            retargeted = true;
+    EXPECT_TRUE(retargeted);
+    VerifyReport report = verifyUnit(u);
+    EXPECT_EQ(report.countOf(Code::CC003), 0u) << dump(report, u);
+}
+
 TEST(Golden, Cc004ArgumentRegisterUndefinedAtSite)
 {
     Unit u = parseUnit(

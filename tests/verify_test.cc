@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "asm/assembler.h"
 #include "plc/driver.h"
 #include "reorg/reorganizer.h"
@@ -99,6 +101,40 @@ TEST(Cfg, CallReturnPointHasUnknownPred)
     Cfg cfg = buildCfg(u, nullptr);
     EXPECT_TRUE(cfg.nodes[1].unknown_succ);
     EXPECT_TRUE(cfg.nodes[2].unknown_pred);
+}
+
+TEST(Cfg, LocallyResolvedBranchLabelIsNotUnknownPred)
+{
+    // Regression: a label whose every reference is a resolved local
+    // branch used to be treated as reachable from unknown code, which
+    // poisoned forward analyses at every branch target. Its
+    // predecessors are exactly the wired edges.
+    Unit u = parseUnit(
+        "beq r1, #0, out\n" // 0
+        "nop\n"             // 1: slot carries the taken edge
+        "add r3, #1, r3\n"  // 2: fall-through
+        "out: halt\n");     // 3
+    Cfg cfg = buildCfg(u, nullptr);
+    EXPECT_FALSE(cfg.nodes[3].unknown_pred);
+    std::vector<size_t> preds = cfg.nodes[3].preds;
+    std::sort(preds.begin(), preds.end());
+    EXPECT_EQ(preds, (std::vector<size_t>{1, 2}));
+}
+
+TEST(Cfg, AddressTakenBranchLabelKeepsUnknownPred)
+{
+    // The twin: the same branch target is also referenced as a memory
+    // operand, so its address escapes and the conservative marking
+    // must stay.
+    Unit u = parseUnit(
+        "ld @out, r5\n"     // 0: address of the label escapes
+        "nop\n"             // 1
+        "beq r1, #0, out\n" // 2
+        "nop\n"             // 3
+        "add r3, #1, r3\n"  // 4
+        "out: halt\n");     // 5
+    Cfg cfg = buildCfg(u, nullptr);
+    EXPECT_TRUE(cfg.nodes[5].unknown_pred);
 }
 
 // ------------------------------------------------------------ dataflow
