@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates the dispatch-lowering tradeoff table printed below
+ * (branch chain vs jump table) and times the experiment.
+ */
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace mips::tradeoff;
+
+static void
+BM_DispatchStudy(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runDispatchStudy());
+}
+BENCHMARK(BM_DispatchStudy)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+MIPS82_BENCH_MAIN(runDispatchStudy().table)

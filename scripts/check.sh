@@ -50,7 +50,8 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 run_tv_gate() {
     local build_dir=$1
     local config
-    for config in "" "--no-reorder" "--no-pack" "--no-fill-delay"; do
+    for config in "" "--no-reorder" "--no-pack" "--no-fill-delay" \
+        "--no-jump-tables"; do
         # shellcheck disable=SC2086  # word-splitting is intended
         "$build_dir/src/verify/mipsverify" --tv --strict --quiet \
             $config --corpus
@@ -109,7 +110,8 @@ if [ "${1:-}" = "tsan" ]; then
     "$build_dir/src/verify/mipsverify" --jobs 8 --corpus --quiet \
         --stats=json > /dev/null
     # --jobs 0 = auto-detect worker count (docs/CLI.md): same corpus
-    # pass through whatever hardware_concurrency() reports.
+    # pass (including the dispatch-heavy jump-table programs) through
+    # whatever hardware_concurrency() reports.
     "$build_dir/src/verify/mipsverify" --jobs 0 --corpus --quiet \
         --stats=json > /dev/null
     echo "check.sh: tsan green"
@@ -177,6 +179,19 @@ if [ "$bench_only" -eq 0 ]; then
     # Translation-validation gate: the corpus must also *prove*
     # equivalent, under the full reorganizer and each stage toggle.
     run_tv_gate "$build_dir"
+
+    # Experiment-table determinism gate: the dispatch tradeoff study
+    # (chain vs jump-table CASE lowering) must render byte-identically
+    # across runs — cycle counts come from the simulator, not wall
+    # clocks, so any drift is a real nondeterminism bug.
+    "$build_dir/bench/bench_dispatch_lowering" --benchmark_filter='^$' \
+        > "$build_dir/dispatch-table-a.out"
+    "$build_dir/bench/bench_dispatch_lowering" --benchmark_filter='^$' \
+        > "$build_dir/dispatch-table-b.out"
+    cmp "$build_dir/dispatch-table-a.out" \
+        "$build_dir/dispatch-table-b.out"
+    grep -q "jump table" "$build_dir/dispatch-table-a.out"
+    echo "check.sh: dispatch experiment table byte-stable"
 
     # Diagnostics-JSON gate: machine output must parse as a stream of
     # schema-1 documents whose summary blocks agree with the

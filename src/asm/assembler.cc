@@ -486,6 +486,32 @@ Parser::parseJump(const std::string &mnemonic,
 {
     JumpPiece j;
     bool is_call = mnemonic == "call";
+    if (mnemonic == "jtab") {
+        // jtab (base+index)[, table_label] — PC = mem[base + index].
+        // The label names the table's first .word entry; it is not
+        // encoded (the base register already holds the address) but
+        // travels as item metadata for the verifier's successor sets.
+        if (ops.empty() || ops.size() > 2)
+            return err("jtab needs (base+index) and an optional "
+                       "table label");
+        std::string_view tv = trim(ops[0]);
+        if (tv.size() < 2 || tv.front() != '(' || tv.back() != ')')
+            return err("bad jtab operand '" + ops[0] + "'");
+        std::string_view inner = trim(tv.substr(1, tv.size() - 2));
+        size_t plus = inner.find('+');
+        if (plus == std::string_view::npos)
+            return err("jtab needs a (base+index) operand");
+        auto base = parseReg(inner.substr(0, plus));
+        auto index = parseReg(inner.substr(plus + 1));
+        if (!base || !index)
+            return err("bad jtab registers");
+        j.kind = JumpKind::TABLE;
+        j.target_reg = *base;
+        j.index = *index;
+        if (ops.size() == 2)
+            *target = ops[1];
+        return Instruction::makeJump(j);
+    }
     if (is_call) {
         if (ops.size() != 2)
             return err("call needs 2 operands: target, link");
@@ -600,7 +626,7 @@ Parser::parsePiece(std::string_view text, std::string *target)
         if (mnemonic == "bra" || isa::parseCond(mnemonic.substr(1), &c))
             return parseBranch(mnemonic, ops, target);
     }
-    if (mnemonic == "jmp" || mnemonic == "call")
+    if (mnemonic == "jmp" || mnemonic == "call" || mnemonic == "jtab")
         return parseJump(mnemonic, ops, target);
 
     return parseAluLike(mnemonic, ops);
@@ -668,12 +694,15 @@ Parser::parseDirective(std::string_view body)
     if (name == ".word") {
         if (tokens.size() != 2)
             return err(".word needs a value");
-        auto value = parseNumber(tokens[1]);
-        if (!value)
-            return err("bad .word value");
         Item item;
         item.is_data = true;
-        item.data_value = static_cast<uint32_t>(*value);
+        if (auto value = parseNumber(tokens[1])) {
+            item.data_value = static_cast<uint32_t>(*value);
+        } else {
+            // Symbolic entry: the label's address becomes the word at
+            // link time (jump-table entries are built from these).
+            item.target = std::string(tokens[1]);
+        }
         addItem(std::move(item));
         return true;
     }

@@ -45,8 +45,20 @@ link(const Unit &unit)
     addr = unit.origin;
     for (const Item &item : unit.items) {
         if (item.is_data) {
+            uint32_t value = item.data_value;
+            if (!item.target.empty()) {
+                // Jump-table entry: relocate the label's address into
+                // the data word.
+                auto it = prog.symbols.find(item.target);
+                if (it == prog.symbols.end()) {
+                    return support::makeError(
+                        "undefined label '" + item.target + "'",
+                        item.source_line);
+                }
+                value = it->second;
+            }
             prog.words.push_back(isa::Instruction::makeNop());
-            prog.image.push_back(item.data_value);
+            prog.image.push_back(value);
             ++addr;
             continue;
         }
@@ -114,7 +126,11 @@ listUnit(const Unit &unit)
         for (const std::string &label : item.labels)
             out += label + ":\n";
         if (item.is_data) {
-            out += support::strprintf("    .word %u\n", item.data_value);
+            if (!item.target.empty())
+                out += "    .word " + item.target + "\n";
+            else
+                out += support::strprintf("    .word %u\n",
+                                          item.data_value);
         } else if (!item.target.empty()) {
             // Print with the symbolic target in place of the number.
             std::string text;
@@ -123,6 +139,9 @@ listUnit(const Unit &unit)
                 text = support::strprintf(
                     "call %s, %s", item.target.c_str(),
                     isa::regName(item.inst.jump->link).c_str());
+            } else if (item.inst.jump &&
+                       isa::jumpIsTable(item.inst.jump->kind)) {
+                text = isa::disasm(item.inst, addr) + ", " + item.target;
             } else if (item.inst.mem) {
                 const isa::MemPiece &mp = *item.inst.mem;
                 if (mp.is_store) {

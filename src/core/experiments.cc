@@ -681,6 +681,117 @@ runFigure4()
     return out;
 }
 
+// ------------------------------------------------- Dispatch tradeoff
+
+namespace {
+
+/** Measure one source under both CASE lowerings. */
+DispatchMeasurement
+measureDispatch(const std::string &name, const char *source)
+{
+    DispatchMeasurement m;
+    m.name = name;
+    for (bool tables : {false, true}) {
+        pipeline::StageOptions options;
+        options.compile.jump_tables = tables;
+
+        auto exe = pipeline::sharedSession().reorganize(source, options);
+        if (!exe.ok())
+            support::panic("building %s failed: %s", name.c_str(),
+                           exe.error().str().c_str());
+        size_t words = exe.value()->final_unit.items.size();
+
+        auto run = pipeline::sharedSession().simulate(source, options);
+        if (!run.ok())
+            support::panic("running %s failed: %s", name.c_str(),
+                           run.error().str().c_str());
+        if (run.value()->stop != sim::StopReason::HALT) {
+            support::panic("dispatch program %s did not halt: %s",
+                           name.c_str(), run.value()->error.c_str());
+        }
+        if (tables) {
+            m.table_words = words;
+            m.table_cycles = run.value()->cycles;
+        } else {
+            m.chain_words = words;
+            m.chain_cycles = run.value()->cycles;
+        }
+        if (m.output.empty()) {
+            m.output = run.value()->console;
+        } else if (m.output != run.value()->console) {
+            support::panic("%s: CASE lowerings disagree: '%s' vs '%s'",
+                           name.c_str(), m.output.c_str(),
+                           run.value()->console.c_str());
+        }
+    }
+    return m;
+}
+
+/** A hot loop dispatching over a dense CASE of `arms` labels. */
+std::string
+densityProgram(int arms)
+{
+    std::string src = strprintf(
+        "program dispatch%d;\n"
+        "var i, k, s: integer;\n"
+        "begin\n"
+        "  s := 0;\n"
+        "  for i := 0 to 199 do begin\n"
+        "    k := i mod %d;\n"
+        "    case k of\n",
+        arms, arms);
+    for (int a = 0; a < arms; ++a) {
+        src += strprintf("      %d: s := s + %d%s\n", a, a + 1,
+                         a + 1 < arms ? ";" : "");
+    }
+    src += "    end;\n"
+           "  end;\n"
+           "  writeint(s);\n"
+           "end.\n";
+    return src;
+}
+
+} // namespace
+
+DispatchResult
+runDispatchStudy()
+{
+    DispatchResult result;
+    for (const workload::CorpusProgram &program :
+         workload::dispatchCorpus()) {
+        result.programs.push_back(
+            measureDispatch(program.name, program.source));
+    }
+
+    static const int kArms[] = {2, 4, 8, 16, 32};
+    for (int arms : kArms) {
+        std::string source = densityProgram(arms);
+        result.density.push_back(measureDispatch(
+            strprintf("case/%d", arms), source.c_str()));
+    }
+
+    TextTable t("Dispatch tradeoff: branch chain vs jump table "
+                "(CASE lowering)");
+    t.setHeader({"Program", "Words chain", "Words table",
+                 "Cycles chain", "Cycles table", "Table speedup"});
+    auto addRows = [&](const std::vector<DispatchMeasurement> &ms) {
+        for (const DispatchMeasurement &m : ms) {
+            t.addRow({m.name, strprintf("%zu", m.chain_words),
+                      strprintf("%zu", m.table_words),
+                      strprintf("%llu", static_cast<unsigned long long>(
+                                            m.chain_cycles)),
+                      strprintf("%llu", static_cast<unsigned long long>(
+                                            m.table_cycles)),
+                      TextTable::pct(m.tableSpeedup())});
+        }
+    };
+    addRows(result.programs);
+    t.addSeparator();
+    addRows(result.density);
+    result.table = t.render();
+    return result;
+}
+
 // ------------------------------------------------------ Free cycles
 
 FreeCyclesResult

@@ -192,6 +192,48 @@ std::string runFigures1to3();
 /** The reorganization example: legal code vs no-ops vs reorganized. */
 std::string runFigure4();
 
+// ----------------------------------------------- Dispatch tradeoff
+
+/** One program measured under both CASE lowerings. */
+struct DispatchMeasurement
+{
+    std::string name;
+    size_t chain_words = 0;    ///< static unit words, branch chain
+    size_t table_words = 0;    ///< static unit words, jump table
+    uint64_t chain_cycles = 0; ///< pipeline cycles, branch chain
+    uint64_t table_cycles = 0; ///< pipeline cycles, jump table
+    std::string output;        ///< console output (identical either way)
+
+    /** Cycle improvement of the table lowering (negative: chain wins). */
+    double
+    tableSpeedup() const
+    {
+        return chain_cycles
+                   ? 1.0 - static_cast<double>(table_cycles) /
+                               static_cast<double>(chain_cycles)
+                   : 0.0;
+    }
+};
+
+struct DispatchResult
+{
+    /** The dispatch-heavy corpus programs. */
+    std::vector<DispatchMeasurement> programs;
+    /** Synthetic sweep: a dense CASE of N arms in a hot loop. */
+    std::vector<DispatchMeasurement> density;
+    std::string table;
+};
+
+/**
+ * The jump-table tradeoff study, in the paper's hardware/software
+ * style: the indirect-jump ISA extension buys smaller, flatter
+ * dispatch at the price of a table fetch and two delay slots. Static
+ * words and dynamic pipeline cycles are measured per program under
+ * both lowerings, plus a synthetic arm-count sweep locating the
+ * chain-vs-table crossover.
+ */
+DispatchResult runDispatchStudy();
+
 // ------------------------------------------- Free memory cycles (§3.1)
 
 struct FreeCyclesResult

@@ -58,6 +58,14 @@ enum class JumpKind : uint8_t
     INDIRECT = 1,      ///< PC = register, delay 2
     CALL_DIRECT = 2,   ///< link = return address; PC = absolute, delay 1
     CALL_INDIRECT = 3, ///< link = return address; PC = register, delay 2
+    /**
+     * Table dispatch: PC = mem[base + index] (word addressing). The
+     * target word travels over the data-memory interface, so a TABLE
+     * jump occupies the data port like a load and exposes the indirect
+     * delay of two slots. Encoded as the INDIRECT sub-code with a
+     * discriminator bit (existing INDIRECT words have it clear).
+     */
+    TABLE = 4,
 };
 
 /** Unconditional jump / call piece. */
@@ -65,7 +73,8 @@ struct JumpPiece
 {
     JumpKind kind = JumpKind::DIRECT;
     uint32_t target_addr = 0; ///< DIRECT / CALL_DIRECT
-    Reg target_reg = kZeroReg; ///< INDIRECT / CALL_INDIRECT
+    Reg target_reg = kZeroReg; ///< INDIRECT / CALL_INDIRECT; TABLE base
+    Reg index = kZeroReg;      ///< TABLE index (word offset into table)
     Reg link = kLinkReg;       ///< CALL_*: receives address after delay
                                ///< slots (the resume point)
 
@@ -76,8 +85,8 @@ struct JumpPiece
 constexpr int
 jumpDelay(JumpKind kind)
 {
-    return (kind == JumpKind::INDIRECT || kind == JumpKind::CALL_INDIRECT)
-        ? kIndirectJumpDelay : kBranchDelay;
+    return kind == JumpKind::DIRECT || kind == JumpKind::CALL_DIRECT
+        ? kBranchDelay : kIndirectJumpDelay;
 }
 
 /** True for CALL_DIRECT / CALL_INDIRECT. */
@@ -87,11 +96,23 @@ jumpIsCall(JumpKind kind)
     return kind == JumpKind::CALL_DIRECT || kind == JumpKind::CALL_INDIRECT;
 }
 
-/** True for INDIRECT / CALL_INDIRECT. */
+/**
+ * True for INDIRECT / CALL_INDIRECT: the target is *in* target_reg.
+ * Deliberately false for TABLE, whose target is a memory word — every
+ * caller that reads the register as the target must treat TABLE
+ * separately.
+ */
 constexpr bool
 jumpIsIndirect(JumpKind kind)
 {
     return kind == JumpKind::INDIRECT || kind == JumpKind::CALL_INDIRECT;
+}
+
+/** True for the table-dispatch form. */
+constexpr bool
+jumpIsTable(JumpKind kind)
+{
+    return kind == JumpKind::TABLE;
 }
 
 } // namespace mips::isa

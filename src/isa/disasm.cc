@@ -130,6 +130,11 @@ disasm(const Instruction &inst, uint32_t pc)
                             regName(j.target_reg).c_str(),
                             regName(j.link).c_str());
             break;
+          case JumpKind::TABLE:
+            out = strprintf("jtab (%s+%s)",
+                            regName(j.target_reg).c_str(),
+                            regName(j.index).c_str());
+            break;
         }
     } else if (inst.special) {
         const SpecialPiece &p = *inst.special;

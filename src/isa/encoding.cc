@@ -179,12 +179,20 @@ decodeJump(uint32_t word)
 {
     JumpPiece j;
     j.kind = static_cast<JumpKind>(bits(word, 28, 27));
+    // The INDIRECT sub-code carries a discriminator: bit 22 set means
+    // the table-dispatch form (plain indirect words leave it clear).
+    if (j.kind == JumpKind::INDIRECT && bits(word, 22, 22))
+        j.kind = JumpKind::TABLE;
     switch (j.kind) {
       case JumpKind::DIRECT:
         j.target_addr = static_cast<uint32_t>(bits(word, 23, 0));
         break;
       case JumpKind::INDIRECT:
         j.target_reg = static_cast<Reg>(bits(word, 26, 23));
+        break;
+      case JumpKind::TABLE:
+        j.target_reg = static_cast<Reg>(bits(word, 26, 23));
+        j.index = static_cast<Reg>(bits(word, 21, 18));
         break;
       case JumpKind::CALL_DIRECT:
         j.link = static_cast<Reg>(bits(word, 26, 23));
@@ -278,13 +286,21 @@ encode(const Instruction &inst)
     if (inst.jump) {
         const JumpPiece &j = *inst.jump;
         word = insertBits(word, 31, 29, kFmtJump);
-        word = insertBits(word, 28, 27, static_cast<uint32_t>(j.kind));
+        word = insertBits(word, 28, 27,
+                          j.kind == JumpKind::TABLE
+                              ? static_cast<uint32_t>(JumpKind::INDIRECT)
+                              : static_cast<uint32_t>(j.kind));
         switch (j.kind) {
           case JumpKind::DIRECT:
             word = insertBits(word, 23, 0, j.target_addr);
             break;
           case JumpKind::INDIRECT:
             word = insertBits(word, 26, 23, j.target_reg);
+            break;
+          case JumpKind::TABLE:
+            word = insertBits(word, 26, 23, j.target_reg);
+            word = insertBits(word, 22, 22, 1);
+            word = insertBits(word, 21, 18, j.index);
             break;
           case JumpKind::CALL_DIRECT:
             word = insertBits(word, 26, 23, j.link);

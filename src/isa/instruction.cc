@@ -45,6 +45,10 @@ Instruction::isControlTransfer() const
 bool
 Instruction::referencesMemory() const
 {
+    // A table-dispatch jump fetches its target word over the data
+    // interface, so it occupies the data port exactly like a load.
+    if (jump && jumpIsTable(jump->kind))
+        return true;
     return mem && memReferencesMemory(*mem);
 }
 
@@ -211,6 +215,11 @@ regUse(const Instruction &inst)
     if (inst.jump) {
         if (jumpIsIndirect(inst.jump->kind))
             markRead(&use, inst.jump->target_reg);
+        if (jumpIsTable(inst.jump->kind)) {
+            markRead(&use, inst.jump->target_reg);
+            markRead(&use, inst.jump->index);
+            use.reads_memory = true;
+        }
         if (jumpIsCall(inst.jump->kind))
             markWrite(&use, inst.jump->link);
     }

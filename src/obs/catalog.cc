@@ -37,6 +37,7 @@ constexpr const char *kDiagCodeNames[kVerifyDiagCodes] = {
     "TV001", "TV002", "TV003", "TV004", "TV005", "TV006", "TV090",
     "CC001", "CC002", "CC003", "CC004", "LT004",
     "MS001", "MS002", "MS003", "MS004", "MS005", "MS006",
+    "VF003", "VF004", "HZ007", "MS007", "TV007", "TV008",
 };
 
 StageMetrics
@@ -265,6 +266,13 @@ costMetrics()
         c.interlock_nops = &r.counter(
             "verify.cost.interlock_nops", "count",
             "software-interlock nop words counted by the cost model");
+        c.dispatches = &r.counter(
+            "verify.cost.dispatches", "count",
+            "table-dispatch (jtab) words counted by the cost model");
+        c.dispatch_words = &r.counter(
+            "verify.cost.dispatch_words", "count",
+            "words inside table-dispatch blocks counted by the cost "
+            "model");
         c.parity_checks = &r.counter(
             "verify.cost.parity_checks", "count",
             "blocks compared against simulator dynamic cycle counts");

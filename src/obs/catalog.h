@@ -112,7 +112,7 @@ SimMetrics &simMetrics();
 // ----------------------------------------------------------- verifier
 
 /** Mirrors verify::kNumCodes / codeName (asserted by obs_test). */
-constexpr size_t kVerifyDiagCodes = 29;
+constexpr size_t kVerifyDiagCodes = 35;
 const char *verifyDiagCodeName(size_t code);
 
 /** Handles for `verify.*`: per-code diagnostic counts plus unit
@@ -143,6 +143,8 @@ struct CostMetrics
     Counter *blocks;            ///< basic blocks costed across reports
     Counter *static_cycles;     ///< summed single-sweep static cycles
     Counter *interlock_nops;    ///< software-interlock nops counted
+    Counter *dispatches;        ///< table-dispatch (jtab) words costed
+    Counter *dispatch_words;    ///< words inside dispatch blocks
     Counter *parity_checks;     ///< blocks compared against the simulator
     Counter *parity_violations; ///< blocks whose static cost disagreed
 };

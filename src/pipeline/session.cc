@@ -38,7 +38,8 @@ msSince(Clock::time_point start)
 std::string
 keyOf(const plc::CompileOptions &o)
 {
-    return strprintf("L%d;S%u", static_cast<int>(o.layout), o.stack_top);
+    return strprintf("L%d;S%u;J%d", static_cast<int>(o.layout),
+                     o.stack_top, o.jump_tables);
 }
 
 unsigned

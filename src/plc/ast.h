@@ -84,6 +84,18 @@ struct Expr
 
 using ExprPtr = std::unique_ptr<Expr>;
 
+struct Stmt;
+
+/** One arm of a CASE statement. */
+struct CaseArm
+{
+    std::vector<ExprPtr> labels; ///< constant label expressions
+    std::vector<std::unique_ptr<Stmt>> body;
+
+    // Filled by semantic analysis.
+    std::vector<int32_t> values; ///< resolved label constants
+};
+
 /** Statement node. */
 struct Stmt
 {
@@ -94,6 +106,7 @@ struct Stmt
         WHILE,
         REPEAT,
         FOR,
+        CASE,    ///< case selector of v: stmt; ... else ... end
         CALL,    ///< procedure call (including write builtins)
         EMPTY,
     };
@@ -108,7 +121,8 @@ struct Stmt
     ExprPtr from, to;   ///< FOR bounds
     bool downto = false;
     std::vector<std::unique_ptr<Stmt>> body;
-    std::vector<std::unique_ptr<Stmt>> else_body; ///< IF only
+    std::vector<std::unique_ptr<Stmt>> else_body; ///< IF / CASE else
+    std::vector<CaseArm> arms; ///< CASE
     std::vector<ExprPtr> args; ///< CALL
 
     // Filled by semantic analysis.

@@ -1,5 +1,8 @@
 #include "plc/codegen.h"
 
+#include <algorithm>
+#include <map>
+
 #include "asm/assembler.h"
 #include "plc/parser.h"
 #include "support/bits.h"
@@ -686,6 +689,90 @@ CodeGen::genStmt(const Stmt &stmt)
         genScalarStore(var, reg(rv));
         pop();
         emit(strprintf("bra %s", ltop.c_str()));
+        emitLabel(lend);
+        return;
+      }
+
+      case Stmt::Kind::CASE: {
+        genExpr(*stmt.cond);
+        std::string ra = reg(depth_);
+        std::string lend = freshLabel();
+        std::string lelse = stmt.else_body.empty() ? lend
+                                                   : freshLabel();
+
+        // One landing label per arm; map each label value to it.
+        std::vector<std::string> arm_labels;
+        std::map<int32_t, std::string> targets;
+        int32_t lo = 0, hi = 0;
+        size_t count = 0;
+        for (const CaseArm &arm : stmt.arms) {
+            arm_labels.push_back(freshLabel());
+            for (int32_t v : arm.values) {
+                if (count == 0 || v < lo)
+                    lo = v;
+                if (count == 0 || v > hi)
+                    hi = v;
+                targets[v] = arm_labels.back();
+                ++count;
+            }
+        }
+        int64_t span = static_cast<int64_t>(hi) - lo + 1;
+
+        // Dense selectors dispatch through a jump table; sparse (or
+        // tiny) ones fall back to a compare-and-branch chain. This is
+        // the size/speed knob the dispatch experiment turns.
+        bool use_table = options_.jump_tables && count >= 4 &&
+                         span <= 2 * static_cast<int64_t>(count) &&
+                         span <= 256;
+        if (use_table) {
+            addConst(ra, -lo, ra, stmt.line);
+            if (span <= 15) {
+                emit(strprintf("bgeu %s, #%d, %s", ra.c_str(),
+                               static_cast<int>(span),
+                               lelse.c_str()));
+            } else {
+                loadLiteral(static_cast<int32_t>(span), "r9",
+                            stmt.line);
+                emit(strprintf("bgeu %s, r9, %s", ra.c_str(),
+                               lelse.c_str()));
+            }
+            std::string tlab = freshLabel();
+            std::string rb = reg(push(stmt.line));
+            emit(strprintf("la %s, %s", tlab.c_str(), rb.c_str()));
+            emit(strprintf("jtab (%s+%s), %s", rb.c_str(), ra.c_str(),
+                           tlab.c_str()));
+            pop(2);
+            emitLabel(tlab);
+            for (int64_t v = lo; v <= hi; ++v) {
+                auto it = targets.find(static_cast<int32_t>(v));
+                const std::string &entry =
+                    it != targets.end() ? it->second : lelse;
+                emit(strprintf(".word %s", entry.c_str()));
+            }
+        } else {
+            for (const auto &[v, label] : targets) {
+                if (v >= 0 && v <= 15) {
+                    emit(strprintf("beq %s, #%d, %s", ra.c_str(), v,
+                                   label.c_str()));
+                } else {
+                    loadLiteral(v, "r9", stmt.line);
+                    emit(strprintf("beq %s, r9, %s", ra.c_str(),
+                                   label.c_str()));
+                }
+            }
+            emit(strprintf("bra %s", lelse.c_str()));
+            pop();
+        }
+
+        for (size_t i = 0; i < stmt.arms.size(); ++i) {
+            emitLabel(arm_labels[i]);
+            genStmts(stmt.arms[i].body);
+            emit(strprintf("bra %s", lend.c_str()));
+        }
+        if (!stmt.else_body.empty()) {
+            emitLabel(lelse);
+            genStmts(stmt.else_body);
+        }
         emitLabel(lend);
         return;
       }

@@ -37,6 +37,9 @@ struct CompileOptions
     Layout layout = Layout::WORD_ALLOCATED;
     /** Initial stack pointer (grows down). */
     uint32_t stack_top = 0x40000;
+    /** Lower dense CASE statements to jump tables (`jtab`); when
+     *  false every CASE becomes a branch chain. */
+    bool jump_tables = true;
 };
 
 /** A compiled program (legal code; run the reorganizer before the

@@ -32,6 +32,7 @@ tokName(Tok kind)
       case Tok::KW_IF:       return "'if'";
       case Tok::KW_THEN:     return "'then'";
       case Tok::KW_ELSE:     return "'else'";
+      case Tok::KW_CASE:     return "'case'";
       case Tok::KW_WHILE:    return "'while'";
       case Tok::KW_DO:       return "'do'";
       case Tok::KW_REPEAT:   return "'repeat'";
@@ -84,7 +85,8 @@ keywords()
         {"function", Tok::KW_FUNCTION},
         {"begin", Tok::KW_BEGIN}, {"end", Tok::KW_END},
         {"if", Tok::KW_IF}, {"then", Tok::KW_THEN},
-        {"else", Tok::KW_ELSE}, {"while", Tok::KW_WHILE},
+        {"else", Tok::KW_ELSE}, {"case", Tok::KW_CASE},
+        {"while", Tok::KW_WHILE},
         {"do", Tok::KW_DO}, {"repeat", Tok::KW_REPEAT},
         {"until", Tok::KW_UNTIL}, {"for", Tok::KW_FOR},
         {"to", Tok::KW_TO}, {"downto", Tok::KW_DOWNTO},

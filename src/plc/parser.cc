@@ -301,6 +301,27 @@ Parser::parseStmt()
             stmt->else_body.push_back(parseStmt());
         return stmt;
       }
+      case Tok::KW_CASE: {
+        take();
+        stmt->kind = Stmt::Kind::CASE;
+        stmt->cond = parseExpr();
+        expect(Tok::KW_OF);
+        while (!at(Tok::KW_END) && !at(Tok::KW_ELSE)) {
+            CaseArm arm;
+            arm.labels.push_back(parseExpr());
+            while (accept(Tok::COMMA))
+                arm.labels.push_back(parseExpr());
+            expect(Tok::COLON);
+            arm.body.push_back(parseStmt());
+            stmt->arms.push_back(std::move(arm));
+            if (!accept(Tok::SEMI))
+                break;
+        }
+        if (accept(Tok::KW_ELSE))
+            stmt->else_body = parseStmts();
+        expect(Tok::KW_END);
+        return stmt;
+      }
       case Tok::KW_WHILE: {
         take();
         stmt->kind = Stmt::Kind::WHILE;

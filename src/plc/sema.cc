@@ -1,6 +1,7 @@
 #include "plc/sema.h"
 
 #include <algorithm>
+#include <set>
 
 #include "support/logging.h"
 
@@ -73,6 +74,7 @@ class Analyzer
     void analyzeBody(std::vector<StmtPtr> &body);
     void analyzeStmt(Stmt &stmt);
     BaseType analyzeExpr(Expr &expr, int depth);
+    int32_t constCaseLabel(Expr &expr, BaseType selector);
     void checkScalar(const Symbol *sym, int line);
 
     ProgramAst &program_;
@@ -299,6 +301,55 @@ Analyzer::analyzeExpr(Expr &expr, int depth)
     support::panic("analyzeExpr: bad kind");
 }
 
+/**
+ * Evaluate a case label to its constant value, checking that its type
+ * matches the selector. Accepts literals, named constants, and a
+ * unary minus over an integer literal.
+ */
+int32_t
+Analyzer::constCaseLabel(Expr &expr, BaseType selector)
+{
+    switch (expr.kind) {
+      case Expr::Kind::INT_LIT:
+        expr.type = BaseType::INTEGER;
+        if (selector != BaseType::INTEGER)
+            fail(expr.line, "case label type does not match selector");
+        return expr.int_value;
+
+      case Expr::Kind::CHAR_LIT:
+        expr.type = BaseType::CHAR;
+        if (selector != BaseType::CHAR)
+            fail(expr.line, "case label type does not match selector");
+        return static_cast<unsigned char>(expr.char_value);
+
+      case Expr::Kind::VAR: {
+        Symbol *sym = lookup(expr.name, expr.line);
+        if (sym->kind != SymKind::CONSTANT)
+            fail(expr.line, "case label must be a constant");
+        expr.symbol = sym;
+        expr.type = sym->type.base;
+        if (expr.type != selector)
+            fail(expr.line, "case label type does not match selector");
+        return sym->const_value;
+      }
+
+      case Expr::Kind::UNOP:
+        if (expr.op == Tok::MINUS &&
+            expr.lhs->kind == Expr::Kind::INT_LIT) {
+            expr.type = BaseType::INTEGER;
+            if (selector != BaseType::INTEGER)
+                fail(expr.line,
+                     "case label type does not match selector");
+            return -expr.lhs->int_value;
+        }
+        break;
+
+      default:
+        break;
+    }
+    fail(expr.line, "case label must be a constant");
+}
+
 void
 Analyzer::analyzeStmt(Stmt &stmt)
 {
@@ -367,6 +418,27 @@ Analyzer::analyzeStmt(Stmt &stmt)
         max_for_temps_ = std::max(max_for_temps_, for_temps_);
         analyzeBody(stmt.body);
         --for_temps_;
+        return;
+      }
+
+      case Stmt::Kind::CASE: {
+        BaseType sel = analyzeExpr(*stmt.cond, 1);
+        if (sel != BaseType::INTEGER && sel != BaseType::CHAR)
+            fail(stmt.line, "case selector must be an integer or char");
+        if (stmt.arms.empty())
+            fail(stmt.line, "case statement has no arms");
+        std::set<int32_t> seen;
+        for (CaseArm &arm : stmt.arms) {
+            for (ExprPtr &label : arm.labels) {
+                int32_t v = constCaseLabel(*label, sel);
+                if (!seen.insert(v).second)
+                    fail(label->line, support::strprintf(
+                        "duplicate case label %d", v));
+                arm.values.push_back(v);
+            }
+            analyzeBody(arm.body);
+        }
+        analyzeBody(stmt.else_body);
         return;
       }
 

@@ -21,7 +21,7 @@ enum class Tok
     KW_PROGRAM, KW_CONST, KW_VAR, KW_ARRAY, KW_OF, KW_PACKED,
     KW_INTEGER, KW_CHAR, KW_BOOLEAN,
     KW_PROCEDURE, KW_FUNCTION,
-    KW_BEGIN, KW_END, KW_IF, KW_THEN, KW_ELSE,
+    KW_BEGIN, KW_END, KW_IF, KW_THEN, KW_ELSE, KW_CASE,
     KW_WHILE, KW_DO, KW_REPEAT, KW_UNTIL, KW_FOR, KW_TO, KW_DOWNTO,
     KW_AND, KW_OR, KW_NOT, KW_DIV, KW_MOD,
     KW_TRUE, KW_FALSE,

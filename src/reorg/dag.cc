@@ -95,6 +95,21 @@ Dag::Dag(const std::vector<Item> &items, const AliasOptions &alias,
                 }
             }
 
+            // A table-dispatch jump loads its target word through the
+            // data interface but carries no MemPiece to compare, so
+            // every store is conservatively ordered against it (a
+            // store moved into its delay slots would commit after the
+            // table fetch).
+            auto tableJump = [](const Item &it) {
+                return !it.is_data && it.inst.jump &&
+                       isa::jumpIsTable(it.inst.jump->kind);
+            };
+            if (!dep &&
+                ((tableJump(items[i]) && items[j].inst.isStore()) ||
+                 (tableJump(items[j]) && items[i].inst.isStore()))) {
+                dep = true;
+            }
+
             // Everything before a control transfer that it depends on
             // is covered above; additionally a transfer must not move
             // before anything (it is the terminator), which the

@@ -111,8 +111,12 @@ Cpu::classifyWord(const Instruction &inst)
     }
     if (inst.branch)
         return (inst.jump || inst.special) ? K_GENERIC : K_BRANCH;
-    if (inst.jump)
-        return inst.special ? K_GENERIC : K_JUMP;
+    if (inst.jump) {
+        // Table dispatch fetches its target over the data interface;
+        // the generic path has the translate/privilege machinery.
+        return (inst.special || isa::jumpIsTable(inst.jump->kind))
+                   ? K_GENERIC : K_JUMP;
+    }
     if (inst.special)
         return K_GENERIC;
     return K_NOP;
@@ -651,9 +655,11 @@ Cpu::stepInner()
         br_src2 = inst.branch->src2.is_imm ? inst.branch->src2.imm4
                                            : regs_[inst.branch->src2.reg];
     }
-    uint32_t jump_target_val = 0;
-    if (inst.jump)
+    uint32_t jump_target_val = 0, jump_index_val = 0;
+    if (inst.jump) {
         jump_target_val = regs_[inst.jump->target_reg];
+        jump_index_val = regs_[inst.jump->index];
+    }
     uint32_t special_val = 0;
     if (inst.special)
         special_val = regs_[inst.special->reg];
@@ -751,8 +757,25 @@ Cpu::stepInner()
         }
         const isa::JumpPiece &j = *inst.jump;
         int delay = isa::jumpDelay(j.kind);
-        uint32_t target = isa::jumpIsIndirect(j.kind) ? jump_target_val
-                                                      : j.target_addr;
+        uint32_t target;
+        if (isa::jumpIsTable(j.kind)) {
+            // The dispatch target comes from memory: a data-port word
+            // load at base + index, with the same translation and
+            // peripheral-protection rules as any data reference.
+            uint32_t ea = jump_target_val + jump_index_val;
+            uint32_t phys = 0;
+            if (!translateOrFault(cur, ea, false, false, &phys))
+                return StopReason::RUNNING;
+            if (mem_.isMmio(phys) && !sr_.supervisor) {
+                faultAt(cur, Cause::PRIVILEGE, 0);
+                return StopReason::RUNNING;
+            }
+            ++stats_.loads;
+            target = mem_.read(phys);
+        } else {
+            target = isa::jumpIsIndirect(j.kind) ? jump_target_val
+                                                 : j.target_addr;
+        }
         if (isa::jumpIsCall(j.kind))
             setReg(j.link, cur + 1 + static_cast<uint32_t>(delay));
         redirectStream(delay, target);

@@ -99,8 +99,22 @@ FunctionalCpu::step()
         const isa::JumpPiece &j = *inst.jump;
         if (isa::jumpIsCall(j.kind))
             setReg(j.link, pc_ + 1);
-        next_pc = isa::jumpIsIndirect(j.kind) ? regs_[j.target_reg]
-                                              : j.target_addr;
+        if (isa::jumpIsTable(j.kind)) {
+            // The target comes from memory: one data-port access at
+            // base + index, exactly like a word load.
+            uint32_t ea = regs_[j.target_reg] + regs_[j.index];
+            if (ea >= mem_.size()) {
+                error_ = support::strprintf(
+                    "jump-table reference out of range at %u (ea %u)",
+                    pc_, ea);
+                halted_ = true;
+                return StopReason::SIM_ERROR;
+            }
+            next_pc = mem_.read(ea);
+        } else {
+            next_pc = isa::jumpIsIndirect(j.kind) ? regs_[j.target_reg]
+                                                  : j.target_addr;
+        }
     } else if (inst.special) {
         switch (inst.special->op) {
           case isa::SpecialOp::TRAP:

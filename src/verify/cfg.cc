@@ -23,6 +23,8 @@ struct Transfer
     bool target_known = false;
     size_t target = kNoItem; ///< item index when target_known
     bool to_unknown = false; ///< callee / indirect / trap / RFE
+    /** Table-dispatch successor set (one per table entry). */
+    std::vector<size_t> multi_targets;
     ShadowKind shadow = ShadowKind::NONE;
 };
 
@@ -80,8 +82,20 @@ classify(const Cfg &cfg, size_t i, DiagnosticEngine *diags)
         const isa::JumpPiece &j = *item.inst.jump;
         t.is_transfer = true;
         t.delay = isa::jumpDelay(j.kind);
-        t.shadow = isa::jumpIsIndirect(j.kind) ? ShadowKind::INDIRECT
-                                               : ShadowKind::BRANCH;
+        t.shadow = isa::jumpIsIndirect(j.kind) || isa::jumpIsTable(j.kind)
+                       ? ShadowKind::INDIRECT
+                       : ShadowKind::BRANCH;
+        if (isa::jumpIsTable(j.kind)) {
+            // The successor set comes from the recovered table (built
+            // before classification); a dispatch whose table could not
+            // be recovered goes anywhere.
+            auto it = cfg.tables.find(i);
+            if (it == cfg.tables.end())
+                t.to_unknown = true;
+            else
+                t.multi_targets = it->second.targets;
+            return t;
+        }
         if (isa::jumpIsCall(j.kind) || isa::jumpIsIndirect(j.kind)) {
             // Callee or register target: not statically followable
             // (calls also because the callee may go anywhere before
@@ -122,6 +136,90 @@ classify(const Cfg &cfg, size_t i, DiagnosticEngine *diags)
     return t;
 }
 
+/**
+ * Recover every table dispatch's jump table from the unit: the label
+ * the `jtab` names must start a contiguous run of `.word LABEL` data
+ * items, each relocating to an instruction word in the unit. Only
+ * fully well-formed tables enter `cfg.tables`; the rest are reported
+ * (VF003 for a missing/malformed table, VF004 per escaping entry) and
+ * their dispatches fall back to an unknown successor.
+ */
+void
+resolveTables(Cfg &cfg, DiagnosticEngine *diags)
+{
+    const Unit &unit = *cfg.unit;
+    size_t n = unit.items.size();
+    for (size_t i = 0; i < n; ++i) {
+        const Item &item = unit.items[i];
+        if (item.is_data || !item.inst.jump ||
+            !isa::jumpIsTable(item.inst.jump->kind))
+            continue;
+        if (item.target.empty()) {
+            if (diags) {
+                diags->report(Code::VF003, Severity::ERROR, i,
+                              "table-dispatch jump names no table "
+                              "label; its successors are unknown");
+            }
+            continue;
+        }
+        auto lit = cfg.labels.find(item.target);
+        if (lit == cfg.labels.end()) {
+            if (diags) {
+                diags->report(Code::VF002, Severity::ERROR, i,
+                              support::strprintf(
+                                  "undefined label '%s'",
+                                  item.target.c_str()));
+            }
+            continue;
+        }
+        JumpTable tbl;
+        tbl.first_entry = lit->second;
+        bool bad_entry = false;
+        for (size_t e = lit->second;
+             e != kNoItem && e < n && unit.items[e].is_data &&
+             !unit.items[e].target.empty();
+             ++e) {
+            tbl.entries.push_back(e);
+            const std::string &arm = unit.items[e].target;
+            auto ait = cfg.labels.find(arm);
+            if (ait == cfg.labels.end()) {
+                if (diags) {
+                    diags->report(Code::VF002, Severity::ERROR, e,
+                                  support::strprintf(
+                                      "undefined label '%s'",
+                                      arm.c_str()));
+                }
+                bad_entry = true;
+            } else if (ait->second == kNoItem ||
+                       unit.items[ait->second].is_data) {
+                if (diags) {
+                    diags->report(
+                        Code::VF004, Severity::ERROR, e,
+                        support::strprintf(
+                            "jump-table entry '%s' resolves outside "
+                            "the unit's code", arm.c_str()));
+                }
+                bad_entry = true;
+            } else {
+                tbl.targets.push_back(ait->second);
+            }
+        }
+        if (tbl.entries.empty()) {
+            if (diags) {
+                diags->report(
+                    Code::VF003, Severity::ERROR, i,
+                    support::strprintf(
+                        "table label '%s' does not start a run of "
+                        ".word entries", item.target.c_str()));
+            }
+            continue;
+        }
+        if (bad_entry)
+            continue;
+        cfg.tables.emplace(i, std::move(tbl));
+    }
+}
+
 } // namespace
 
 Cfg
@@ -137,6 +235,9 @@ buildCfg(const Unit &unit, DiagnosticEngine *diags)
             cfg.labels.emplace(label, i);
     for (const std::string &label : unit.trailing_labels)
         cfg.labels.emplace(label, kNoItem); // defined, but past the end
+
+    // Jump-table recovery (before classification, which consumes it).
+    resolveTables(cfg, diags);
 
     // Structural validation and label-operand resolution for
     // non-transfer label uses (ld @sym / st @sym / li @sym).
@@ -212,6 +313,8 @@ buildCfg(const Unit &unit, DiagnosticEngine *diags)
             slot.unknown_succ = true;
         else if (t.target_known)
             slot.succs.push_back(t.target);
+        for (size_t arm : t.multi_targets)
+            slot.succs.push_back(arm);
 
         // A call returns past its delay slots: that resume point can
         // be entered from the callee's indirect jump.

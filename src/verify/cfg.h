@@ -56,21 +56,38 @@ struct CfgNode
     size_t shadow_owner = kNoItem;
 };
 
+/** One recovered jump table (the successor set of a table dispatch).
+ *  Entries are the contiguous `.word LABEL` data items starting at the
+ *  label the `jtab` names; targets are the arm items they relocate to. */
+struct JumpTable
+{
+    size_t first_entry = kNoItem; ///< item index of the first entry
+    std::vector<size_t> entries;  ///< entry item indices, in order
+    std::vector<size_t> targets;  ///< resolved arm item indices
+};
+
 /** The graph plus label resolution for one unit. */
 struct Cfg
 {
     const assembler::Unit *unit = nullptr;
     std::vector<CfgNode> nodes;
     std::map<std::string, size_t> labels; ///< label -> item index
+    /** Well-formed jump tables, keyed by the dispatch item's index.
+     *  A table dispatch absent from this map could not be recovered
+     *  (VF003/VF004) and contributes `unknown_succ` instead. */
+    std::map<size_t, JumpTable> tables;
 
     size_t size() const { return nodes.size(); }
 };
 
 /**
  * Build the execution CFG. Structural problems found along the way —
- * invalid instruction words (VF001) and undefined label operands
- * (VF002) — are reported to `diags` (which may be null to skip them);
- * the offending edges become `unknown_succ`.
+ * invalid instruction words (VF001), undefined label operands
+ * (VF002), malformed jump tables (VF003), and table entries that
+ * escape the unit's code (VF004) — are reported to `diags` (which may
+ * be null to skip them); the offending edges become `unknown_succ`.
+ * A table dispatch whose table is well formed contributes one edge
+ * per entry instead of an unknown successor.
  */
 Cfg buildCfg(const assembler::Unit &unit, DiagnosticEngine *diags);
 

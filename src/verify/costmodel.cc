@@ -126,6 +126,9 @@ computeCostModel(const Cfg &cfg, const CallGraph &graph,
                 ++block.instructions;
             if (item.inst.alu && item.inst.mem)
                 ++block.packed;
+            if (item.inst.jump &&
+                isa::jumpIsTable(item.inst.jump->kind))
+                ++block.dispatches;
             int delay = transferDelay(item);
             for (int d = 1; d <= delay && j + d < n; ++d) {
                 ++block.delay_slots;
@@ -154,6 +157,9 @@ computeCostModel(const Cfg &cfg, const CallGraph &graph,
         report.totals.packed += b.packed;
         report.totals.delay_slots += b.delay_slots;
         report.totals.filled_slots += b.filled_slots;
+        report.totals.dispatches += b.dispatches;
+        if (b.dispatches)
+            report.totals.dispatch_words += b.count;
         if (b.function == kNoFunc)
             continue;
         FunctionCost &fc = report.functions[b.function];
@@ -164,6 +170,7 @@ computeCostModel(const Cfg &cfg, const CallGraph &graph,
         fc.packed += b.packed;
         fc.delay_slots += b.delay_slots;
         fc.filled_slots += b.filled_slots;
+        fc.dispatches += b.dispatches;
     }
 
     // Call-graph rollup, callee-first. Tarjan assigned SCC ids in
@@ -297,6 +304,14 @@ costText(const CostReport &report)
         static_cast<unsigned long long>(report.totals.filled_slots),
         static_cast<unsigned long long>(report.totals.delay_slots),
         100.0 * report.fillRate());
+    if (report.totals.dispatches) {
+        out += support::strprintf(
+            "  table dispatch: %llu jtab word(s), %llu word(s) in "
+            "dispatch blocks\n",
+            static_cast<unsigned long long>(report.totals.dispatches),
+            static_cast<unsigned long long>(
+                report.totals.dispatch_words));
+    }
     return out;
 }
 
@@ -309,13 +324,16 @@ costJson(const CostReport &report, const CostParity *parity)
     out += support::strprintf(
         "  \"totals\": {\"words\": %llu, \"instructions\": %llu, "
         "\"nops\": %llu, \"packed\": %llu, \"delay_slots\": %llu, "
-        "\"filled_slots\": %llu},\n",
+        "\"filled_slots\": %llu, \"dispatches\": %llu, "
+        "\"dispatch_words\": %llu},\n",
         static_cast<unsigned long long>(report.totals.words),
         static_cast<unsigned long long>(report.totals.instructions),
         static_cast<unsigned long long>(report.totals.nops),
         static_cast<unsigned long long>(report.totals.packed),
         static_cast<unsigned long long>(report.totals.delay_slots),
-        static_cast<unsigned long long>(report.totals.filled_slots));
+        static_cast<unsigned long long>(report.totals.filled_slots),
+        static_cast<unsigned long long>(report.totals.dispatches),
+        static_cast<unsigned long long>(report.totals.dispatch_words));
     out += support::strprintf(
         "  \"nop_overhead\": %.4f, \"packed_density\": %.4f, "
         "\"fill_rate\": %.4f,\n",
@@ -329,7 +347,8 @@ costJson(const CostReport &report, const CostParity *parity)
             "{\"name\": \"%s\", \"blocks\": %zu, \"words\": %llu, "
             "\"instructions\": %llu, \"nops\": %llu, "
             "\"packed\": %llu, \"delay_slots\": %llu, "
-            "\"filled_slots\": %llu, \"rollup_words\": %llu, "
+            "\"filled_slots\": %llu, \"dispatches\": %llu, "
+            "\"rollup_words\": %llu, "
             "\"unresolved_calls\": %zu, \"recursive\": %s}",
             f.name.c_str(), f.blocks,
             static_cast<unsigned long long>(f.words),
@@ -338,6 +357,7 @@ costJson(const CostReport &report, const CostParity *parity)
             static_cast<unsigned long long>(f.packed),
             static_cast<unsigned long long>(f.delay_slots),
             static_cast<unsigned long long>(f.filled_slots),
+            static_cast<unsigned long long>(f.dispatches),
             static_cast<unsigned long long>(f.rollup_words),
             f.unresolved_calls, f.recursive ? "true" : "false");
     }
@@ -349,13 +369,15 @@ costJson(const CostReport &report, const CostParity *parity)
         out += support::strprintf(
             "{\"pc\": %u, \"words\": %zu, \"instructions\": %llu, "
             "\"nops\": %llu, \"packed\": %llu, \"delay_slots\": %llu, "
-            "\"filled_slots\": %llu, \"straight_line\": %s}",
+            "\"filled_slots\": %llu, \"dispatches\": %llu, "
+            "\"straight_line\": %s}",
             b.pc, b.count,
             static_cast<unsigned long long>(b.instructions),
             static_cast<unsigned long long>(b.nops),
             static_cast<unsigned long long>(b.packed),
             static_cast<unsigned long long>(b.delay_slots),
             static_cast<unsigned long long>(b.filled_slots),
+            static_cast<unsigned long long>(b.dispatches),
             b.straight_line ? "true" : "false");
     }
     out += report.blocks.empty() ? "]" : "\n  ]";
@@ -390,6 +412,8 @@ publishCostMetrics(const CostReport &report)
     metrics.blocks->add(report.blocks.size());
     metrics.static_cycles->add(report.totals.words);
     metrics.interlock_nops->add(report.totals.nops);
+    metrics.dispatches->add(report.totals.dispatches);
+    metrics.dispatch_words->add(report.totals.dispatch_words);
 }
 
 } // namespace mips::verify

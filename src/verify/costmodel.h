@@ -42,6 +42,7 @@ struct BlockCost
     uint64_t packed = 0;       ///< words with both ALU and mem pieces
     uint64_t delay_slots = 0;  ///< delay-slot words after transfers
     uint64_t filled_slots = 0; ///< delay slots holding real work
+    uint64_t dispatches = 0;   ///< table-dispatch (jtab) words
     /** Exact parity expected: every word executes once per entry.
      *  False when the block contains TRAP/RFE (an exception may
      *  leave the block early); such blocks are tolerance-bounded. */
@@ -60,6 +61,7 @@ struct FunctionCost
     uint64_t packed = 0;
     uint64_t delay_slots = 0;
     uint64_t filled_slots = 0;
+    uint64_t dispatches = 0; ///< table-dispatch (jtab) words
     /** Call-graph rollup: own words plus every resolved call site's
      *  callee rollup (a static lower bound; saturating). Recursive
      *  functions contribute their own body only. */
@@ -77,6 +79,8 @@ struct CostTotals
     uint64_t packed = 0;
     uint64_t delay_slots = 0;
     uint64_t filled_slots = 0;
+    uint64_t dispatches = 0;     ///< table-dispatch (jtab) words
+    uint64_t dispatch_words = 0; ///< words in blocks with a dispatch
 };
 
 /** The full report for one unit. */

@@ -41,6 +41,12 @@ codeName(Code code)
       case Code::MS004: return "MS004";
       case Code::MS005: return "MS005";
       case Code::MS006: return "MS006";
+      case Code::VF003: return "VF003";
+      case Code::VF004: return "VF004";
+      case Code::HZ007: return "HZ007";
+      case Code::MS007: return "MS007";
+      case Code::TV007: return "TV007";
+      case Code::TV008: return "TV008";
     }
     support::panic("codeName: bad code %d", static_cast<int>(code));
 }
@@ -162,6 +168,33 @@ codeDescription(Code code)
         return "every execution path from the unit entry to an exit "
                "passes through an instruction that must fault: the "
                "program cannot complete without taking an exception";
+      case Code::VF003:
+        return "a table-dispatch jump carries no table label, or its "
+               "label does not start a contiguous run of relocated "
+               ".word entries inside the unit (the successor set "
+               "cannot be recovered statically)";
+      case Code::VF004:
+        return "a jump-table entry relocates to an address outside the "
+               "unit's code (or onto a data word): dispatching through "
+               "it executes an unpredictable decode";
+      case Code::HZ007:
+        return "a store sits in the two-slot delay shadow of a "
+               "table-dispatch jump; the table fetch overlaps the "
+               "shadow on the data port, so a store that may alias the "
+               "table makes the fetched target undefined";
+      case Code::MS007:
+        return "the value-range analysis proves (error/MUST) or cannot "
+               "exclude on a narrowed range (warning/MAY) that a "
+               "table-dispatch fetch at base + index reads outside the "
+               "jump table named by the instruction";
+      case Code::TV007:
+        return "symbolic execution proves a paired table-dispatch exit "
+               "fetches its target from a different address (or a "
+               "different table) than the legal input unit";
+      case Code::TV008:
+        return "the jump tables named by a paired table-dispatch exit "
+               "resolve to different entry-label sequences, so some "
+               "case arm dispatches to a different target";
     }
     support::panic("codeDescription: bad code %d",
                    static_cast<int>(code));

@@ -63,10 +63,16 @@ enum class Code : uint8_t
     MS004,     ///< provable signed overflow with traps enabled
     MS005,     ///< worst-case stack depth exceeds the budget
     MS006,     ///< a fault lies on every path to exit
+    VF003,     ///< table-dispatch jump without a well-formed table
+    VF004,     ///< jump-table entry resolves outside the unit's code
+    HZ007,     ///< store in the delay shadow of a table-dispatch jump
+    MS007,     ///< table-dispatch fetch may read outside its table
+    TV007,     ///< translation validation: table dispatch divergence
+    TV008,     ///< translation validation: table entry divergence
 };
 
 /** Number of distinct diagnostic codes. */
-constexpr int kNumCodes = static_cast<int>(Code::MS006) + 1;
+constexpr int kNumCodes = static_cast<int>(Code::TV008) + 1;
 
 /** Stable textual name of a code, e.g. "HZ001". */
 const char *codeName(Code code);

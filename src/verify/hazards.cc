@@ -111,6 +111,35 @@ checkShadows(const Cfg &cfg, DiagnosticEngine *diags)
     }
 }
 
+/** HZ007: no store inside the delay shadow of a table dispatch. The
+ *  table fetch overlaps the shadow on the data port, so a store there
+ *  races the fetch and the dispatched target is undefined. */
+void
+checkTableShadows(const Cfg &cfg, DiagnosticEngine *diags)
+{
+    const auto &items = cfg.unit->items;
+    for (size_t i = 0; i < cfg.size(); ++i) {
+        const CfgNode &node = cfg.nodes[i];
+        if (node.shadow != ShadowKind::INDIRECT || items[i].is_data ||
+            node.shadow_owner == kNoItem)
+            continue;
+        const Item &owner = items[node.shadow_owner];
+        if (owner.is_data || !owner.inst.jump ||
+            !isa::jumpIsTable(owner.inst.jump->kind))
+            continue;
+        if (!items[i].inst.isStore())
+            continue;
+        bool fenced = owner.no_reorder && items[i].no_reorder;
+        diags->report(
+            Code::HZ007, fenced ? Severity::NOTE : Severity::ERROR, i,
+            support::strprintf(
+                "store in the delay shadow of the table dispatch at %u "
+                "races the table fetch on the data port",
+                cfg.unit->origin +
+                    static_cast<uint32_t>(node.shadow_owner)));
+    }
+}
+
 /** HZ004: the two pieces of a packed word must be independent — they
  *  execute simultaneously, so neither sequential order is honoured
  *  for a register one piece writes and the other touches. */
@@ -146,6 +175,7 @@ checkHazards(const Cfg &cfg, DiagnosticEngine *diags)
 {
     checkLoadDelays(cfg, diags);
     checkShadows(cfg, diags);
+    checkTableShadows(cfg, diags);
     checkPackedWords(cfg, diags);
 }
 

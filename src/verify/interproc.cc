@@ -459,8 +459,17 @@ buildCallGraph(const Cfg &cfg)
     std::set<std::string> referenced;
     for (size_t i = 0; i < n; ++i) {
         const Item &item = unit.items[i];
-        if (item.is_data)
+        if (item.is_data) {
+            // A relocated `.word LABEL` table entry both references
+            // its arm and takes its address.
+            if (!item.target.empty()) {
+                referenced.insert(item.target);
+                auto it = cfg.labels.find(item.target);
+                if (it != cfg.labels.end() && it->second != kNoItem)
+                    address_taken.insert(it->second);
+            }
             continue;
+        }
         if (!item.target.empty()) {
             referenced.insert(item.target);
             if (item.inst.mem) {
@@ -686,9 +695,20 @@ callGraphDot(const CallGraph &g, const std::string &name)
             dotEscape(f.name).c_str(), dotEscape(f.name).c_str(),
             f.begin, f.end, attrs.c_str());
     }
+    // Table-dispatch edges: one per dispatch per distinct target
+    // region, dashed and labeled to distinguish them from call edges.
+    // A dispatch whose table could not be recovered goes to "?".
+    const Cfg &cfg = *g.cfg;
     bool unresolved = false;
     for (const CallSite &s : g.sites)
         unresolved = unresolved || !s.resolved();
+    for (size_t i = 0; i < cfg.size(); ++i) {
+        const assembler::Item &item = cfg.unit->items[i];
+        if (!item.is_data && item.inst.jump &&
+            isa::jumpIsTable(item.inst.jump->kind) &&
+            !cfg.tables.count(i))
+            unresolved = true;
+    }
     if (unresolved)
         out += "  \"?\" [shape=ellipse, style=dotted];\n";
     for (const CallSite &s : g.sites) {
@@ -698,6 +718,31 @@ callGraphDot(const CallGraph &g, const std::string &name)
         out += support::strprintf(
             "  \"%s\" -> \"%s\"%s;\n", dotEscape(from).c_str(),
             dotEscape(to).c_str(), s.indirect ? " [style=dotted]" : "");
+    }
+    for (size_t i = 0; i < cfg.size(); ++i) {
+        const assembler::Item &item = cfg.unit->items[i];
+        if (item.is_data || !item.inst.jump ||
+            !isa::jumpIsTable(item.inst.jump->kind))
+            continue;
+        const std::string &from =
+            g.functions[g.function_of[i]].name;
+        auto it = cfg.tables.find(i);
+        if (it == cfg.tables.end()) {
+            out += support::strprintf(
+                "  \"%s\" -> \"?\" [style=dashed, label=\"table\"];\n",
+                dotEscape(from).c_str());
+            continue;
+        }
+        std::set<size_t> target_funcs;
+        for (size_t arm : it->second.targets)
+            target_funcs.insert(g.function_of[arm]);
+        for (size_t tf : target_funcs) {
+            out += support::strprintf(
+                "  \"%s\" -> \"%s\" [style=dashed, "
+                "label=\"table\"];\n",
+                dotEscape(from).c_str(),
+                dotEscape(g.functions[tf].name).c_str());
+        }
     }
     out += "}\n";
     return out;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "isa/branch.h"
 #include "isa/instruction.h"
 #include "obs/catalog.h"
 #include "support/strings.h"
@@ -348,6 +349,50 @@ checkMemorySafety(const Cfg &cfg, const CallGraph &graph,
             }
         }
 
+        // MS007: the table-dispatch fetch is a data-port read like any
+        // other; its address must stay inside the declared table. The
+        // table is the *legal* region here, so the verdict logic is
+        // classifyOverlap's mirror image.
+        if (inst.jump && isa::jumpIsTable(inst.jump->kind)) {
+            auto ti = cfg.tables.find(i);
+            if (ti != cfg.tables.end() && !ti->second.entries.empty()) {
+                ++report.checked_refs;
+                isa::MemPiece fetch;
+                fetch.mode = MemMode::BASE_INDEX;
+                fetch.base = inst.jump->target_reg;
+                fetch.index = inst.jump->index;
+                AbsVal addr = memAddressRange(fetch, "", cfg, s);
+                int64_t t_lo =
+                    static_cast<int64_t>(cfg.unit->origin) +
+                    static_cast<int64_t>(ti->second.first_entry);
+                int64_t t_hi =
+                    t_lo +
+                    static_cast<int64_t>(ti->second.entries.size()) - 1;
+                if (addr.hi < t_lo || addr.lo > t_hi) {
+                    emit(Code::MS007, Severity::ERROR, i,
+                         strprintf("table fetch address %s lies outside "
+                                   "the %zu-entry jump table at "
+                                   "[0x%llx, 0x%llx]",
+                                   intervalText(addr).c_str(),
+                                   ti->second.entries.size(),
+                                   static_cast<unsigned long long>(t_lo),
+                                   static_cast<unsigned long long>(
+                                       t_hi)));
+                } else if (!(addr.lo >= t_lo && addr.hi <= t_hi) &&
+                           !addr.isTop() && !addr.widened) {
+                    emit(Code::MS007, Severity::WARNING, i,
+                         strprintf("table fetch address %s may read "
+                                   "outside the %zu-entry jump table at "
+                                   "[0x%llx, 0x%llx]",
+                                   intervalText(addr).c_str(),
+                                   ti->second.entries.size(),
+                                   static_cast<unsigned long long>(t_lo),
+                                   static_cast<unsigned long long>(
+                                       t_hi)));
+                }
+            }
+        }
+
         if (inst.alu && isa::aluCanOverflow(inst.alu->op) &&
             s.ovf_enable == Flag::YES) {
             ++report.checked_alu;
@@ -631,6 +676,7 @@ checkFaultCoverage(const std::vector<Diagnostic> &diags, uint32_t origin,
             break;
           case Code::MS001:
           case Code::MS003:
+          case Code::MS007:
             any_mem = true;
             if (d.item_index != kNoItem)
                 mem_items.insert(d.item_index);
@@ -668,7 +714,7 @@ checkFaultCoverage(const std::vector<Diagnostic> &diags, uint32_t origin,
             cov.notes.push_back(strprintf(
                 "uncovered %s at pc %u (addr 0x%x): no %s finding",
                 overflow ? "overflow" : "fault", f.pc, f.addr,
-                overflow ? "MS004" : "MS001/MS003/MS006"));
+                overflow ? "MS004" : "MS001/MS003/MS006/MS007"));
         }
     }
     return cov;

@@ -120,6 +120,7 @@ struct CliOptions
     std::string trace_out;
     mips::verify::VerifyOptions verify;
     mips::reorg::ReorgOptions reorg_options;
+    mips::plc::CompileOptions compile_options;
     std::string file;
 };
 
@@ -141,8 +142,8 @@ usage(FILE *to)
                  "[--fail-fast] [--json]\n"
                  "                  [--no-lint] [--strict] [--no-reorder] "
                  "[--no-pack]\n"
-                 "                  [--no-fill-delay] [--quiet] "
-                 "[--no-time]\n"
+                 "                  [--no-fill-delay] [--no-jump-tables] "
+                 "[--quiet] [--no-time]\n"
                  "                  [--stats[=json]] [--trace-out FILE]\n"
                  "                  [--cost[=json]] "
                  "[--cost-tolerance F]\n"
@@ -292,12 +293,16 @@ runCorpus(const CliOptions &cli)
 {
     std::vector<mips::workload::CorpusProgram> programs =
         mips::workload::corpus();
+    for (const mips::workload::CorpusProgram &program :
+         mips::workload::dispatchCorpus())
+        programs.push_back(program);
     programs.push_back(mips::workload::fibonacciProgram());
     programs.push_back(mips::workload::puzzle0Program());
     programs.push_back(mips::workload::puzzle1Program());
 
     mips::pipeline::Session session;
     mips::pipeline::StageOptions options;
+    options.compile = cli.compile_options;
     options.reorg = cli.reorg_options;
     options.verify = cli.verify;
     mips::pipeline::ChainSpec spec;
@@ -559,6 +564,8 @@ main(int argc, char **argv)
             cli.reorg_options.pack = false;
         } else if (arg == "--no-fill-delay") {
             cli.reorg_options.fill_delay = false;
+        } else if (arg == "--no-jump-tables") {
+            cli.compile_options.jump_tables = false;
         } else if (arg == "--quiet") {
             cli.quiet = true;
         } else if (arg == "--no-time") {

@@ -807,6 +807,18 @@ Interp::stepSequential(size_t idx)
         const isa::JumpPiece &j = *inst.jump;
         SymExit e;
         e.at = idx;
+        if (isa::jumpIsTable(j.kind)) {
+            // The dispatched target is the fetched table entry; the
+            // table label (metadata) rides along for the validator's
+            // entry-sequence comparison.
+            e.kind = SymExitKind::JUMP_TABLE;
+            e.target = arena_.memLoad(
+                st_.mem,
+                arena_.add(getReg(j.target_reg), getReg(j.index)));
+            e.label = it.target;
+            pushFinal(std::move(e));
+            return Step::FINAL;
+        }
         if (isa::jumpIsIndirect(j.kind))
             e.target = getReg(j.target_reg);
         else if (!it.target.empty())
@@ -910,9 +922,11 @@ Interp::stepPipeline(size_t idx)
                     ? arena_.konst(inst.branch->src2.imm4)
                     : getReg(inst.branch->src2.reg);
     }
-    ExprRef jump_tv = kNoExpr;
-    if (inst.jump)
+    ExprRef jump_tv = kNoExpr, jump_iv = kNoExpr;
+    if (inst.jump) {
         jump_tv = getReg(inst.jump->target_reg);
+        jump_iv = getReg(inst.jump->index);
+    }
     ExprRef special_val = kNoExpr;
     if (inst.special)
         special_val = getReg(inst.special->reg);
@@ -991,7 +1005,15 @@ Interp::stepPipeline(size_t idx)
             return fail(idx, "control transfer inside a delay shadow");
         SymExit e;
         e.at = idx;
-        if (isa::jumpIsIndirect(j.kind))
+        if (isa::jumpIsTable(j.kind)) {
+            // The table fetch issues at the jump word: the target term
+            // is frozen now, before the delay shadow's own memory
+            // effects commit (HZ007 forbids shadow stores anyway).
+            e.kind = SymExitKind::JUMP_TABLE;
+            e.target = arena_.memLoad(st_.mem,
+                                      arena_.add(jump_tv, jump_iv));
+            e.label = it.target;
+        } else if (isa::jumpIsIndirect(j.kind))
             e.target = jump_tv;
         else if (!it.target.empty())
             e.label = it.target;
@@ -1002,7 +1024,7 @@ Interp::stepPipeline(size_t idx)
         if (isa::jumpIsCall(j.kind)) {
             setReg(j.link, arena_.input(kInputCallLink));
             e.kind = SymExitKind::CALL;
-        } else {
+        } else if (!isa::jumpIsTable(j.kind)) {
             e.kind = isa::jumpIsIndirect(j.kind)
                          ? SymExitKind::JUMP_INDIRECT
                          : SymExitKind::GOTO;

@@ -195,6 +195,7 @@ enum class SymExitKind : uint8_t
     TRAP,          ///< trap instruction (`trap_code`)
     RFE,           ///< return from exception
     HALT,          ///< halt
+    JUMP_TABLE,    ///< table dispatch (`target` = fetched entry term)
 };
 
 /** One region exit: where control goes and the state it goes with. */

@@ -1,6 +1,7 @@
 #include "verify/tv.h"
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <tuple>
@@ -64,8 +65,34 @@ exitKindName(SymExitKind k)
       case SymExitKind::TRAP: return "trap";
       case SymExitKind::RFE: return "return from exception";
       case SymExitKind::HALT: return "halt";
+      case SymExitKind::JUMP_TABLE: return "table dispatch";
     }
     return "?";
+}
+
+/** Target-label sequence of the dispatch table at `label`: the
+ *  contiguous run of relocated .word entries from the label. Empty
+ *  optional when the table cannot be located. */
+std::optional<std::vector<std::string>>
+tableEntryLabels(const Unit &unit,
+                 const std::map<std::string, size_t> &labels,
+                 const std::string &label)
+{
+    if (label.empty())
+        return std::nullopt;
+    auto it = labels.find(label);
+    if (it == labels.end())
+        return std::nullopt;
+    std::vector<std::string> out;
+    for (size_t i = it->second; i < unit.items.size(); ++i) {
+        const Item &item = unit.items[i];
+        if (!item.is_data || item.target.empty())
+            break;
+        out.push_back(item.target);
+    }
+    if (out.empty())
+        return std::nullopt;
+    return out;
 }
 
 std::string
@@ -399,6 +426,58 @@ Validator::compareExit(ExprArena &arena, const Entry &e,
                     e.name.c_str(), a.ordinal, b.ordinal));
         }
         break;
+      case SymExitKind::JUMP_TABLE: {
+        // TV007: the fetched entry term covers both the fetch address
+        // (base + index) and the memory it reads from — any divergence
+        // means the two sides can dispatch to different places.
+        if (a.target != b.target) {
+            engine_.report(
+                Code::TV007, Severity::ERROR, at,
+                support::strprintf(
+                    "%s: table dispatch fetches %s sequentially but %s "
+                    "on the pipeline",
+                    e.name.c_str(), arena.str(a.target).c_str(),
+                    arena.str(b.target).c_str()));
+        }
+        // TV008: the tables themselves must resolve to the same
+        // entry-label sequence — a swapped or dropped entry changes
+        // where an in-bounds index lands even when the fetch terms
+        // agree symbolically.
+        auto in_entries = tableEntryLabels(input_, in_labels_, a.label);
+        auto out_entries =
+            tableEntryLabels(output_, out_labels_, b.label);
+        if (!in_entries || !out_entries) {
+            note(at, e.name + ": cannot resolve the dispatch table for "
+                     "the entry-sequence comparison");
+            break;
+        }
+        if (*in_entries != *out_entries) {
+            size_t k = 0;
+            while (k < in_entries->size() && k < out_entries->size() &&
+                   (*in_entries)[k] == (*out_entries)[k])
+                ++k;
+            std::string what;
+            if (k >= in_entries->size() || k >= out_entries->size()) {
+                what = support::strprintf(
+                    "the input table has %zu entr%s but the output has "
+                    "%zu",
+                    in_entries->size(),
+                    in_entries->size() == 1 ? "y" : "ies",
+                    out_entries->size());
+            } else {
+                what = support::strprintf(
+                    "entry %zu targets '%s' in the input but '%s' in "
+                    "the output",
+                    k, (*in_entries)[k].c_str(),
+                    (*out_entries)[k].c_str());
+            }
+            engine_.report(
+                Code::TV008, Severity::ERROR, at,
+                support::strprintf("%s: dispatch tables differ: %s",
+                                   e.name.c_str(), what.c_str()));
+        }
+        break;
+      }
       case SymExitKind::JUMP_INDIRECT:
         if (a.target != b.target) {
             engine_.report(

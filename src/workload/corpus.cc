@@ -253,6 +253,137 @@ begin
 end.
 )";
 
+// ------------------------------------------- Dispatch-heavy programs
+
+/**
+ * Stack-machine bytecode interpreter computing 5! — the classic
+ * fetch/dispatch loop whose inner CASE lowers to a jump table.
+ * Opcodes: 0 halt, 1 push imm, 2 add, 3 sub, 4 mul, 5 load global,
+ * 6 store global, 7 jnz, 8 print, 9 dup.
+ */
+const char *const kBytecode = R"(
+program bytecode;
+const ncode = 17;
+var code: array [0..16] of integer;
+    arg: array [0..16] of integer;
+    stack: array [0..7] of integer;
+    globals: array [0..3] of integer;
+    pc, sp, op, a: integer;
+    running: boolean;
+procedure emit(at, o, v: integer);
+begin
+  code[at] := o; arg[at] := v;
+end;
+begin
+  { g0 := 1; g1 := 5; repeat g0 := g0*g1; g1 := g1-1 until g1 = 0;
+    print g0 }
+  emit(0, 1, 1);  emit(1, 6, 0);
+  emit(2, 1, 5);  emit(3, 6, 1);
+  emit(4, 5, 0);  emit(5, 5, 1);  emit(6, 4, 0);  emit(7, 6, 0);
+  emit(8, 5, 1);  emit(9, 1, 1);  emit(10, 3, 0); emit(11, 6, 1);
+  emit(12, 5, 1); emit(13, 7, 4);
+  emit(14, 5, 0); emit(15, 8, 0);
+  emit(16, 0, 0);
+  pc := 0; sp := 0; running := true;
+  while running do begin
+    op := code[pc]; a := arg[pc]; pc := pc + 1;
+    case op of
+      0: running := false;
+      1: begin stack[sp] := a; sp := sp + 1; end;
+      2: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] + stack[sp]; end;
+      3: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] - stack[sp]; end;
+      4: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] * stack[sp]; end;
+      5: begin stack[sp] := globals[a]; sp := sp + 1; end;
+      6: begin sp := sp - 1; globals[a] := stack[sp]; end;
+      7: begin sp := sp - 1;
+           if stack[sp] <> 0 then pc := a; end;
+      8: begin sp := sp - 1; writeint(stack[sp]); end;
+      9: begin stack[sp] := stack[sp - 1]; sp := sp + 1; end
+    end;
+  end;
+end.
+)";
+
+/**
+ * Character scanner: a dense CASE synthesizes the input (jump table)
+ * and a sparse CASE over punctuation classifies it (branch chain), so
+ * one unit carries both lowerings.
+ */
+const char *const kScanner = R"(
+program scanner;
+const len = 72;
+var src: array [0..71] of char;
+    i, idents, nums, ops, semis, spaces: integer;
+    c: char;
+begin
+  for i := 0 to len - 1 do begin
+    case i mod 6 of
+      0, 1: src[i] := chr(ord('a') + (i mod 26));
+      2: src[i] := chr(ord('0') + (i mod 10));
+      3: src[i] := '+';
+      4: src[i] := ';';
+      5: src[i] := ' '
+    end;
+  end;
+  idents := 0; nums := 0; ops := 0; semis := 0; spaces := 0;
+  for i := 0 to len - 1 do begin
+    c := src[i];
+    case c of
+      '+', '-', '*': ops := ops + 1;
+      ';': semis := semis + 1;
+      ' ': spaces := spaces + 1
+    else begin
+      if (c >= 'a') and (c <= 'z') then idents := idents + 1
+      else nums := nums + 1;
+    end
+    end;
+  end;
+  writeint(idents); writechar(' '); writeint(nums); writechar(' ');
+  writeint(ops); writechar(' '); writeint(semis); writechar(' ');
+  writeint(spaces);
+end.
+)";
+
+/**
+ * Protocol state machine: a CASE over the current state whose arm for
+ * the "open" state nests a second CASE over the event — two jump
+ * tables, one inside the other.
+ */
+const char *const kProtocol = R"(
+program protocol;
+const nev = 60;
+var state, i, ev, accepted, dropped, resets: integer;
+begin
+  state := 0; accepted := 0; dropped := 0; resets := 0;
+  for i := 0 to nev - 1 do begin
+    ev := (i * 3 + i div 4) mod 5;
+    case state of
+      0: if ev = 0 then state := 1
+         else dropped := dropped + 1;
+      1: case ev of
+           0: state := 1;
+           1: dropped := dropped + 1;
+           2: state := 2;
+           3: begin state := 0; resets := resets + 1; end;
+           4: dropped := dropped + 1
+         end;
+      2: if ev < 3 then begin
+           accepted := accepted + 1; state := 3;
+         end else begin
+           state := 0; resets := resets + 1;
+         end;
+      3: begin accepted := accepted + 1; state := 0; end
+    end;
+  end;
+  writeint(state); writechar(' '); writeint(accepted);
+  writechar(' '); writeint(dropped); writechar(' ');
+  writeint(resets);
+end.
+)";
+
 // ---------------------------------------------------- Table 11 programs
 
 const char *const kFibonacci = R"(
@@ -463,6 +594,17 @@ corpus()
         {"router", kRouter, ""},
         {"sorter", kSorter, "0a40o"},
         {"checksum", kChecksum, ""},
+    };
+    return programs;
+}
+
+const std::vector<CorpusProgram> &
+dispatchCorpus()
+{
+    static const std::vector<CorpusProgram> programs = {
+        {"bytecode", kBytecode, "120"},
+        {"scanner", kScanner, "24 12 12 12 12"},
+        {"protocol", kProtocol, "0 6 36 6"},
     };
     return programs;
 }

@@ -39,6 +39,16 @@ struct CorpusProgram
 /** The analysis corpus (Tables 1, 3, 4, 7, 8). */
 const std::vector<CorpusProgram> &corpus();
 
+/**
+ * Dispatch-heavy programs (bytecode interpreter, token scanner,
+ * protocol state machine) exercising CASE dispatch. Kept separate
+ * from corpus() so the paper's reference-distribution tables stay
+ * byte-identical; the verify/TV/cost/range gates and the dispatch
+ * experiment run over these. Mirror sources live under
+ * tests/data/dispatch/.
+ */
+const std::vector<CorpusProgram> &dispatchCorpus();
+
 /** Recursive Fibonacci (Table 11). */
 const CorpusProgram &fibonacciProgram();
 

@@ -173,6 +173,37 @@ TEST(Figures, RenderWithExpectedShape)
     EXPECT_NE(fig4.find("Reorganized"), std::string::npos);
 }
 
+TEST(Dispatch, ChainTableCrossover)
+{
+    DispatchResult r = runDispatchStudy();
+    ASSERT_GE(r.programs.size(), 3u);
+    for (const DispatchMeasurement &m : r.programs) {
+        // Both lowerings must run to completion and agree.
+        EXPECT_FALSE(m.output.empty()) << m.name;
+        EXPECT_GT(m.chain_cycles, 0u) << m.name;
+        EXPECT_GT(m.table_cycles, 0u) << m.name;
+    }
+
+    // The density sweep locates the crossover: tiny CASEs stay a
+    // branch chain (identical both ways), dense wide ones dispatch
+    // faster and smaller through the table.
+    ASSERT_GE(r.density.size(), 4u);
+    const DispatchMeasurement &narrow = r.density.front();
+    const DispatchMeasurement &wide = r.density.back();
+    EXPECT_EQ(narrow.chain_cycles, narrow.table_cycles) << narrow.name;
+    EXPECT_EQ(narrow.chain_words, narrow.table_words) << narrow.name;
+    EXPECT_LT(wide.table_cycles, wide.chain_cycles) << wide.name;
+    EXPECT_LT(wide.table_words, wide.chain_words) << wide.name;
+    EXPECT_GT(wide.tableSpeedup(), 0.05) << wide.name;
+
+    // Chain cost grows with arm count; table dispatch cost does not.
+    uint64_t prev_chain = 0;
+    for (const DispatchMeasurement &m : r.density) {
+        EXPECT_GE(m.chain_cycles, prev_chain) << m.name;
+        prev_chain = m.chain_cycles;
+    }
+}
+
 TEST(FreeCycles, SubstantialIdleBandwidth)
 {
     FreeCyclesResult r = runFreeCycles();

@@ -124,6 +124,46 @@ TEST(CostModel, TextAndJsonRenderings)
     EXPECT_NE(with.find("\"parity\""), std::string::npos) << with;
 }
 
+TEST(CostModel, DispatchBreakoutInTextAndJson)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    Cfg cfg = buildCfg(u, nullptr);
+    CallGraph graph = buildCallGraph(cfg);
+    CostReport report = computeCostModel(cfg, graph, "unit.s");
+
+    EXPECT_EQ(report.totals.dispatches, 1u);
+    EXPECT_GT(report.totals.dispatch_words, 0u);
+
+    std::string text = costText(report);
+    EXPECT_NE(text.find("table dispatch:"), std::string::npos) << text;
+
+    std::string json = costJson(report);
+    EXPECT_NE(json.find("\"dispatches\": 1"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"dispatch_words\""), std::string::npos)
+        << json;
+
+    // The breakout line only appears when there is something to
+    // break out — dispatch-free units keep the old text byte-for-byte.
+    Unit s = smokeUnit();
+    Cfg scfg = buildCfg(s, nullptr);
+    CallGraph sgraph = buildCallGraph(scfg);
+    CostReport plain = computeCostModel(scfg, sgraph, "unit.s");
+    EXPECT_EQ(plain.totals.dispatches, 0u);
+    EXPECT_EQ(costText(plain).find("table dispatch:"),
+              std::string::npos);
+}
+
 TEST(CostParity, ExactAgreementAndViolationDetection)
 {
     Unit u = smokeUnit();
@@ -151,6 +191,8 @@ TEST(CostParity, ExactAgreementAndViolationDetection)
 TEST(CostParity, StaticModelMatchesSimulatorOverCorpus)
 {
     std::vector<workload::CorpusProgram> programs = workload::corpus();
+    for (const workload::CorpusProgram &p : workload::dispatchCorpus())
+        programs.push_back(p);
     programs.push_back(workload::fibonacciProgram());
     programs.push_back(workload::puzzle0Program());
     programs.push_back(workload::puzzle1Program());

@@ -1,0 +1,43 @@
+program bytecode;
+const ncode = 17;
+var code: array [0..16] of integer;
+    arg: array [0..16] of integer;
+    stack: array [0..7] of integer;
+    globals: array [0..3] of integer;
+    pc, sp, op, a: integer;
+    running: boolean;
+procedure emit(at, o, v: integer);
+begin
+  code[at] := o; arg[at] := v;
+end;
+begin
+  { g0 := 1; g1 := 5; repeat g0 := g0*g1; g1 := g1-1 until g1 = 0;
+    print g0 }
+  emit(0, 1, 1);  emit(1, 6, 0);
+  emit(2, 1, 5);  emit(3, 6, 1);
+  emit(4, 5, 0);  emit(5, 5, 1);  emit(6, 4, 0);  emit(7, 6, 0);
+  emit(8, 5, 1);  emit(9, 1, 1);  emit(10, 3, 0); emit(11, 6, 1);
+  emit(12, 5, 1); emit(13, 7, 4);
+  emit(14, 5, 0); emit(15, 8, 0);
+  emit(16, 0, 0);
+  pc := 0; sp := 0; running := true;
+  while running do begin
+    op := code[pc]; a := arg[pc]; pc := pc + 1;
+    case op of
+      0: running := false;
+      1: begin stack[sp] := a; sp := sp + 1; end;
+      2: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] + stack[sp]; end;
+      3: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] - stack[sp]; end;
+      4: begin sp := sp - 1;
+           stack[sp - 1] := stack[sp - 1] * stack[sp]; end;
+      5: begin stack[sp] := globals[a]; sp := sp + 1; end;
+      6: begin sp := sp - 1; globals[a] := stack[sp]; end;
+      7: begin sp := sp - 1;
+           if stack[sp] <> 0 then pc := a; end;
+      8: begin sp := sp - 1; writeint(stack[sp]); end;
+      9: begin stack[sp] := stack[sp - 1]; sp := sp + 1; end
+    end;
+  end;
+end.

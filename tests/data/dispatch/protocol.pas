@@ -1,0 +1,29 @@
+program protocol;
+const nev = 60;
+var state, i, ev, accepted, dropped, resets: integer;
+begin
+  state := 0; accepted := 0; dropped := 0; resets := 0;
+  for i := 0 to nev - 1 do begin
+    ev := (i * 3 + i div 4) mod 5;
+    case state of
+      0: if ev = 0 then state := 1
+         else dropped := dropped + 1;
+      1: case ev of
+           0: state := 1;
+           1: dropped := dropped + 1;
+           2: state := 2;
+           3: begin state := 0; resets := resets + 1; end;
+           4: dropped := dropped + 1
+         end;
+      2: if ev < 3 then begin
+           accepted := accepted + 1; state := 3;
+         end else begin
+           state := 0; resets := resets + 1;
+         end;
+      3: begin accepted := accepted + 1; state := 0; end
+    end;
+  end;
+  writeint(state); writechar(' '); writeint(accepted);
+  writechar(' '); writeint(dropped); writechar(' ');
+  writeint(resets);
+end.

@@ -1,0 +1,32 @@
+program scanner;
+const len = 72;
+var src: array [0..71] of char;
+    i, idents, nums, ops, semis, spaces: integer;
+    c: char;
+begin
+  for i := 0 to len - 1 do begin
+    case i mod 6 of
+      0, 1: src[i] := chr(ord('a') + (i mod 26));
+      2: src[i] := chr(ord('0') + (i mod 10));
+      3: src[i] := '+';
+      4: src[i] := ';';
+      5: src[i] := ' '
+    end;
+  end;
+  idents := 0; nums := 0; ops := 0; semis := 0; spaces := 0;
+  for i := 0 to len - 1 do begin
+    c := src[i];
+    case c of
+      '+', '-', '*': ops := ops + 1;
+      ';': semis := semis + 1;
+      ' ': spaces := spaces + 1
+    else begin
+      if (c >= 'a') and (c <= 'z') then idents := idents + 1
+      else nums := nums + 1;
+    end
+    end;
+  end;
+  writeint(idents); writechar(' '); writeint(nums); writechar(' ');
+  writeint(ops); writechar(' '); writeint(semis); writechar(' ');
+  writeint(spaces);
+end.

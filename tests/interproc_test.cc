@@ -155,6 +155,50 @@ TEST(CallGraph, DotRenderingListsFunctionsAndEdges)
     EXPECT_NE(dot.find("->"), std::string::npos) << dot;
 }
 
+TEST(CallGraph, DotRendersTableDispatchEdgesDashed)
+{
+    // A dispatch whose table is recovered draws a dashed edge per
+    // distinct target function, styled apart from call edges.
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    Cfg cfg = buildCfg(u, nullptr);
+    CallGraph g = buildCallGraph(cfg);
+    std::string dot = callGraphDot(g, "unit.s");
+    EXPECT_NE(dot.find("style=dashed, label=\"table\""),
+              std::string::npos)
+        << dot;
+    EXPECT_EQ(dot.find("\"?\""), std::string::npos) << dot;
+}
+
+TEST(CallGraph, DotRendersUnrecoveredTableAsUnknown)
+{
+    // No table label: the dispatch cannot be recovered, so the edge
+    // points at the dotted "?" node instead of silently vanishing.
+    Unit u = parseUnit(
+        "jtab (r2+r3)\n"
+        "nop\n"
+        "nop\n"
+        "halt\n");
+    Cfg cfg = buildCfg(u, nullptr);
+    CallGraph g = buildCallGraph(cfg);
+    std::string dot = callGraphDot(g, "unit.s");
+    EXPECT_NE(dot.find("-> \"?\" [style=dashed, label=\"table\"]"),
+              std::string::npos)
+        << dot;
+    EXPECT_NE(dot.find("\"?\" [shape=ellipse, style=dotted]"),
+              std::string::npos)
+        << dot;
+}
+
 // ------------------------------------------- golden diagnostics
 
 TEST(Golden, Cc001CalleeSavedClobbered)

@@ -185,10 +185,11 @@ TEST(Sema, LayoutControlsPacking)
 /** Compile and run on the pipeline machine; return console output. */
 std::string
 runProgram(const char *src, Layout layout = Layout::WORD_ALLOCATED,
-           uint64_t max_cycles = 20'000'000)
+           uint64_t max_cycles = 20'000'000, bool jump_tables = true)
 {
     CompileOptions copts;
     copts.layout = layout;
+    copts.jump_tables = jump_tables;
     auto exe = buildExecutable(src, copts);
     EXPECT_TRUE(exe.ok()) << (exe.ok() ? "" : exe.error().str());
     if (!exe.ok())
@@ -255,6 +256,129 @@ TEST(Execution, ControlFlow)
         "  writeint(s);\n"
         "end."),
         "55 55 4");
+}
+
+const char *kCaseProgram =
+    "program p; var i: integer;\n"
+    "begin\n"
+    "  for i := 0 to 6 do\n"
+    "    case i of\n"
+    "      0: writechar('z');\n"
+    "      1, 2: writeint(i * 10);\n"
+    "      3: writechar('t');\n"
+    "      5: writechar('f')\n"
+    "    else writechar('?')\n"
+    "    end;\n"
+    "end.";
+
+TEST(Execution, CaseJumpTable)
+{
+    // Dense selectors lower to a jtab dispatch.
+    auto compiled = compile(kCaseProgram, CompileOptions{});
+    ASSERT_TRUE(compiled.ok()) << compiled.error().str();
+    EXPECT_NE(compiled.value().asm_text.find("jtab"), std::string::npos);
+    EXPECT_EQ(runProgram(kCaseProgram), "z1020t?f?");
+}
+
+TEST(Execution, CaseBranchChain)
+{
+    // Same program with tables disabled: a compare-and-branch chain
+    // must produce identical output.
+    CompileOptions copts;
+    copts.jump_tables = false;
+    auto compiled = compile(kCaseProgram, copts);
+    ASSERT_TRUE(compiled.ok()) << compiled.error().str();
+    EXPECT_EQ(compiled.value().asm_text.find("jtab"), std::string::npos);
+    EXPECT_EQ(runProgram(kCaseProgram, Layout::WORD_ALLOCATED,
+                         20'000'000, false),
+              "z1020t?f?");
+}
+
+TEST(Execution, CaseSparseAndChars)
+{
+    // Sparse labels stay a branch chain even with tables enabled.
+    const char *sparse =
+        "program p; var i: integer;\n"
+        "begin\n"
+        "  i := 100;\n"
+        "  case i of\n"
+        "    1: writeint(1);\n"
+        "    100: writeint(2);\n"
+        "    1000: writeint(3)\n"
+        "  end;\n"
+        "end.";
+    auto compiled = compile(sparse, CompileOptions{});
+    ASSERT_TRUE(compiled.ok()) << compiled.error().str();
+    EXPECT_EQ(compiled.value().asm_text.find("jtab"), std::string::npos);
+    EXPECT_EQ(runProgram(sparse), "2");
+
+    // Char selectors and named constants work as labels.
+    EXPECT_EQ(runProgram(
+        "program p; const star = '*'; var c: char;\n"
+        "begin\n"
+        "  c := '*';\n"
+        "  case c of\n"
+        "    'a': writeint(1);\n"
+        "    'b': writeint(2);\n"
+        "    'c': writeint(3);\n"
+        "    star: writeint(4)\n"
+        "  else writeint(9)\n"
+        "  end;\n"
+        "end."),
+        "4");
+
+    // Selector outside every label with no else: falls through.
+    EXPECT_EQ(runProgram(
+        "program p; var i: integer;\n"
+        "begin\n"
+        "  i := 4;\n"
+        "  case i of\n"
+        "    0: writeint(0); 1: writeint(1);\n"
+        "    2: writeint(2); 3: writeint(3)\n"
+        "  end;\n"
+        "  writechar('.');\n"
+        "end."),
+        ".");
+}
+
+TEST(Execution, CaseNegativeLabels)
+{
+    EXPECT_EQ(runProgram(
+        "program p; var i: integer;\n"
+        "begin\n"
+        "  for i := 0 to 4 do\n"
+        "    case i - 2 of\n"
+        "      -2: writechar('a');\n"
+        "      -1: writechar('b');\n"
+        "      0: writechar('c');\n"
+        "      1: writechar('d')\n"
+        "    else writechar('e')\n"
+        "    end;\n"
+        "end."),
+        "abcde");
+}
+
+TEST(Sema, CaseErrors)
+{
+    auto expectError = [](const char *src) {
+        auto r = compile(src, CompileOptions{});
+        EXPECT_FALSE(r.ok()) << src;
+    };
+    // Duplicate label.
+    expectError("program p; var i: integer; begin case i of "
+                "1: writeint(1); 1: writeint(2) end; end.");
+    // Label/selector type mismatch.
+    expectError("program p; var i: integer; begin case i of "
+                "'a': writeint(1) end; end.");
+    // Boolean selector.
+    expectError("program p; var b: boolean; begin case b of "
+                "1: writeint(1) end; end.");
+    // Non-constant label.
+    expectError("program p; var i, j: integer; begin case i of "
+                "j: writeint(1) end; end.");
+    // No arms.
+    expectError("program p; var i: integer; begin case i of "
+                "end; end.");
 }
 
 TEST(Execution, IfAndBooleans)

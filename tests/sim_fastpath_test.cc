@@ -268,6 +268,101 @@ TEST(FastPathParity, DelayShadowErrorIdenticalMessage)
     expectParity(fast, slow);
 }
 
+TEST(FastPathParity, TableDispatchIdenticalStats)
+{
+    // A dispatch loop driven through a jump table: the predecoded
+    // path must agree with the reference on every fetch, transfer,
+    // and counter.
+    Program p = assembleOrDie(
+        "  li #500, r13\n"
+        "  movi #0, r4\n"     // accumulator
+        "  movi #3, r3\n"     // case index, counts down
+        "again:\n"
+        "  la tab, r2\n"
+        "  nop\n"
+        "  jtab (r2+r3), tab\n"
+        "  nop\n"
+        "  nop\n"
+        "tab: .word c0\n"
+        "  .word c1\n"
+        "  .word c2\n"
+        "  .word c3\n"
+        "c0: st r4, 0(r13)\n"
+        "  halt\n"
+        "c1: add r4, #1, r4\n"
+        "  bra next\n"
+        "  nop\n"
+        "c2: add r4, #2, r4\n"
+        "  bra next\n"
+        "  nop\n"
+        "c3: add r4, #3, r4\n"
+        "  bra next\n"
+        "  nop\n"
+        "next: sub r3, #1, r3\n"
+        "  bra again\n"
+        "  nop\n");
+    Machine fast, slow;
+    runProgram(fast, p, true);
+    runProgram(slow, p, false);
+    EXPECT_EQ(fast.cpu().reg(4), 6u); // 3 + 2 + 1
+    EXPECT_GT(fast.cpu().decodeCacheHits(), 0u);
+    expectParity(fast, slow);
+}
+
+TEST(FastPathParity, StoreToTableEntryRedirectsDispatch)
+{
+    // Patch a jump-table entry between two dispatches: the second
+    // dispatch must follow the NEW entry on both paths. On the fast
+    // path this exercises write-invalidation for table data the same
+    // way self-modifying code does for instructions.
+    Program p = assembleOrDie(
+        "  la tab, r2\n"
+        "  movi #0, r3\n"
+        "  jtab (r2+r3), tab\n"
+        "  nop\n"
+        "  nop\n"
+        "tab: .word t0\n"
+        "  .word t1\n"
+        "t0: la t1, r1\n"     // first landing: patch entry 0 to t1
+        "  nop\n"
+        "  st r1, @tab\n"
+        "  jtab (r2+r3), tab\n"
+        "  nop\n"
+        "  nop\n"
+        "  halt\n"            // a stale dispatch would land back here
+        "t1: movi #7, r5\n"
+        "  halt\n");
+    Machine fast, slow;
+    runProgram(fast, p, true);
+    runProgram(slow, p, false);
+    EXPECT_EQ(fast.cpu().reg(5), 7u);
+    EXPECT_EQ(slow.cpu().reg(5), 7u);
+    expectParity(fast, slow);
+}
+
+TEST(FastPathParity, TableFetchOutOfBoundsIdenticalFault)
+{
+    // A wild index drives the table fetch past physical memory: an
+    // ADDRESS_ERROR exception, not a simulator error. No handler is
+    // installed, so the fault re-enters at the vector forever —
+    // compare a fixed cycle budget like the trap-loop test.
+    Program p = assembleOrDie(
+        "  la tab, r2\n"
+        "  ld @big, r3\n"
+        "  nop\n"
+        "  jtab (r2+r3), tab\n"
+        "  nop\n"
+        "  nop\n"
+        "tab: .word t0\n"
+        "t0: halt\n"
+        "big: .word 0x1FFFFF\n");
+    Machine fast, slow;
+    runProgram(fast, p, true, false, 5000);
+    runProgram(slow, p, false, false, 5000);
+    EXPECT_GT(fast.cpu().stats().address_errors, 0u);
+    expectParity(fast, slow);
+}
+
 TEST(FastPathParity, TrapLoopIdenticalStats)
 {
     // Traps re-enter at PC 0 forever; compare a fixed cycle budget so

@@ -267,6 +267,86 @@ TEST(TvValidator, CatchesHandDroppedStore)
     EXPECT_GE(tv.countOf(Code::TV002), 1u) << dump(tv, r.unit);
 }
 
+/** A two-way table dispatch: sequential semantics select entry 1. */
+const char *const kTableDispatch =
+    "li #500, r13\n"
+    "movi #1, r3\n"
+    "la tab, r2\n"
+    "jtab (r2+r3), tab\n"
+    "tab: .word t0\n"
+    ".word t1\n"
+    "t0: movi #1, r1\n"
+    "st r1, 0(r13)\n"
+    "halt\n"
+    "t1: movi #2, r1\n"
+    "st r1, 0(r13)\n"
+    "halt\n";
+
+TEST(TvValidator, ProvesTableDispatchLowering)
+{
+    Unit u = parseUnit(kTableDispatch);
+    ReorgResult r = reorganize(u);
+    VerifyReport tv = validate(u, r);
+    EXPECT_TRUE(tv.clean() && tv.notes == 0) << dump(tv, r.unit);
+}
+
+TEST(TvValidator, CatchesSwappedTableEntries)
+{
+    // Swap the two .word entries: the fetch terms still agree, so
+    // only the entry-sequence comparison (TV008) can catch that an
+    // in-bounds index now lands on the wrong arm.
+    Unit u = parseUnit(kTableDispatch);
+    ReorgResult r = reorganize(u);
+    std::vector<size_t> entries;
+    for (size_t i = 0; i < r.unit.items.size(); ++i)
+        if (r.unit.items[i].is_data && !r.unit.items[i].target.empty())
+            entries.push_back(i);
+    ASSERT_EQ(entries.size(), 2u);
+    std::swap(r.unit.items[entries[0]].target,
+              r.unit.items[entries[1]].target);
+    VerifyReport tv = validate(u, r);
+    EXPECT_GE(tv.countOf(Code::TV008), 1u) << dump(tv, r.unit);
+}
+
+TEST(TvValidator, CatchesDroppedTableEntry)
+{
+    Unit u = parseUnit(kTableDispatch);
+    ReorgResult r = reorganize(u);
+    bool dropped = false;
+    for (size_t i = r.unit.items.size(); i-- > 0;) {
+        if (r.unit.items[i].is_data &&
+            !r.unit.items[i].target.empty()) {
+            r.unit.items.erase(r.unit.items.begin() +
+                               static_cast<ptrdiff_t>(i));
+            dropped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(dropped);
+    VerifyReport tv = validate(u, r);
+    EXPECT_GE(tv.countOf(Code::TV008), 1u) << dump(tv, r.unit);
+}
+
+TEST(TvValidator, CatchesRetargetedTableFetch)
+{
+    // Change the dispatch's index register: the fetched-entry term
+    // diverges (TV007) even though the table itself is intact.
+    Unit u = parseUnit(kTableDispatch);
+    ReorgResult r = reorganize(u);
+    bool mutated = false;
+    for (auto &item : r.unit.items) {
+        if (!item.is_data && item.inst.jump &&
+            isa::jumpIsTable(item.inst.jump->kind)) {
+            item.inst.jump->index = static_cast<isa::Reg>(4);
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    VerifyReport tv = validate(u, r);
+    EXPECT_GE(tv.countOf(Code::TV007), 1u) << dump(tv, r.unit);
+}
+
 TEST(TvValidator, UnprovenRegionIsANoteNeverASilentPass)
 {
     Unit u = parseUnit(kHazardful);

@@ -476,6 +476,76 @@ TEST(Golden, Ms006OneCleanPathSuppressesIt)
     EXPECT_EQ(countCode(diags.diagnostics(), Code::MS006), 0u);
 }
 
+TEST(Golden, Ms007TableFetchProvablyOutside)
+{
+    // Index 9 against a two-entry table: the fetch interval is
+    // disjoint from the table region on every path.
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #9, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    DiagnosticEngine diags(&u);
+    RangeReport report = check(u, &diags);
+    EXPECT_EQ(countCode(diags.diagnostics(), Code::MS007), 1u);
+    const Diagnostic *d = findCode(diags.diagnostics(), Code::MS007);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::ERROR);
+    EXPECT_EQ(d->item_index, 3u);
+    EXPECT_GT(report.checked_refs, 0u);
+}
+
+TEST(Golden, Ms007StraddlingIndexIsMayWarning)
+{
+    // The join of {0} and {6} straddles the two-entry table: in
+    // bounds on one path, out on the other — a MAY finding.
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "beq r1, #0, go\n"
+        "nop\n"
+        "movi #6, r3\n"
+        "go: jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    DiagnosticEngine diags(&u);
+    check(u, &diags);
+    EXPECT_EQ(countCode(diags.diagnostics(), Code::MS007), 1u);
+    const Diagnostic *d = findCode(diags.diagnostics(), Code::MS007);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::WARNING);
+}
+
+TEST(Golden, Ms007InBoundsIndexIsClean)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #1, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    DiagnosticEngine diags(&u);
+    RangeReport report = check(u, &diags);
+    EXPECT_EQ(countCode(diags.diagnostics(), Code::MS007), 0u);
+    EXPECT_GT(report.checked_refs, 0u); // the fetch was checked
+}
+
 // --------------------------------------------- stack depth (MS005)
 
 const char *const kChainSource =

@@ -411,6 +411,122 @@ TEST(Golden, Vf002UndefinedLabel)
     EXPECT_EQ(find(report, Code::VF002)->severity, Severity::ERROR);
 }
 
+/** A well-formed two-entry jump-table dispatch unit. */
+Unit
+tableUnit()
+{
+    return parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+}
+
+TEST(Golden, Vf003TableDispatchWithoutLabel)
+{
+    Unit u = parseUnit(
+        "jtab (r2+r3)\n"
+        "nop\n"
+        "nop\n"
+        "halt\n");
+    VerifyReport report = verifyUnit(u);
+    ASSERT_EQ(report.countOf(Code::VF003), 1u) << dump(report, u);
+    const Diagnostic *d = find(report, Code::VF003);
+    EXPECT_EQ(d->severity, Severity::ERROR);
+    EXPECT_EQ(d->item_index, 0u);
+}
+
+TEST(Golden, Vf003TableLabelIsNotAWordRun)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: halt\n"); // an instruction, not a .word run
+    VerifyReport report = verifyUnit(u);
+    ASSERT_EQ(report.countOf(Code::VF003), 1u) << dump(report, u);
+    EXPECT_EQ(find(report, Code::VF003)->severity, Severity::ERROR);
+}
+
+TEST(Golden, Vf004TableEntryResolvesToData)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "nop\n"
+        "nop\n"
+        "tab: .word d\n"
+        "d: .word 5\n"); // the entry lands on data, not code
+    VerifyReport report = verifyUnit(u);
+    ASSERT_EQ(report.countOf(Code::VF004), 1u) << dump(report, u);
+    const Diagnostic *d = find(report, Code::VF004);
+    EXPECT_EQ(d->severity, Severity::ERROR);
+    EXPECT_EQ(d->item_index, 6u);
+}
+
+TEST(Golden, WellFormedTableIsClean)
+{
+    Unit u = tableUnit();
+    VerifyReport report = verifyUnit(u);
+    EXPECT_EQ(report.countOf(Code::VF003), 0u) << dump(report, u);
+    EXPECT_EQ(report.countOf(Code::VF004), 0u) << dump(report, u);
+    EXPECT_EQ(report.countOf(Code::HZ007), 0u) << dump(report, u);
+    // The table recovery feeds the successor sets: both targets are
+    // reachable, so neither arm is flagged unreachable.
+    EXPECT_EQ(report.countOf(Code::LT003), 0u) << dump(report, u);
+}
+
+TEST(Golden, Hz007StoreInTableDispatchShadow)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        "jtab (r2+r3), tab\n"
+        "st r3, 0(r14)\n" // races the table fetch on the data port
+        "nop\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    VerifyReport report = verifyUnit(u);
+    ASSERT_EQ(report.countOf(Code::HZ007), 1u) << dump(report, u);
+    const Diagnostic *d = find(report, Code::HZ007);
+    EXPECT_EQ(d->severity, Severity::ERROR);
+    EXPECT_EQ(d->item_index, 4u);
+}
+
+TEST(Golden, Hz007IsNoteInsideNoreorder)
+{
+    Unit u = parseUnit(
+        "la tab, r2\n"
+        "nop\n"
+        "movi #0, r3\n"
+        ".noreorder\n"
+        "jtab (r2+r3), tab\n"
+        "st r3, 0(r14)\n" // deliberate: fenced, author's choice
+        "nop\n"
+        ".reorder\n"
+        "tab: .word t0\n"
+        ".word t1\n"
+        "t0: halt\n"
+        "t1: halt\n");
+    VerifyReport report = verifyUnit(u);
+    ASSERT_EQ(report.countOf(Code::HZ007), 1u) << dump(report, u);
+    EXPECT_EQ(find(report, Code::HZ007)->severity, Severity::NOTE);
+}
+
 // ------------------------------------------------------- rendering
 
 TEST(Render, TextAndJsonCarryTheFinding)
@@ -430,6 +546,28 @@ TEST(Render, TextAndJsonCarryTheFinding)
     EXPECT_NE(json.find("\"code\": \"HZ001\""), std::string::npos)
         << json;
     EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+}
+
+TEST(Render, TableDiagnosticsCarryTheirCodes)
+{
+    Unit u = parseUnit(
+        "jtab (r2+r3)\n"
+        "st r3, 0(r14)\n" // store in the dispatch shadow: HZ007
+        "nop\n"
+        "halt\n");
+    VerifyReport report = verifyUnit(u);
+    ASSERT_GE(report.countOf(Code::VF003), 1u) << dump(report, u);
+    ASSERT_GE(report.countOf(Code::HZ007), 1u) << dump(report, u);
+
+    std::string text = reportText(report, u, "table.s");
+    EXPECT_NE(text.find("VF003"), std::string::npos) << text;
+    EXPECT_NE(text.find("HZ007"), std::string::npos) << text;
+
+    std::string json = reportJson(report, "table.s");
+    EXPECT_NE(json.find("\"code\": \"VF003\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"code\": \"HZ007\""), std::string::npos)
+        << json;
 }
 
 // ------------------------------------------- reorganizer as oracle
@@ -464,6 +602,8 @@ TEST(Oracle, ReorganizedHazardfulCodeVerifiesClean)
 TEST(Oracle, WholeCorpusVerifiesClean)
 {
     std::vector<workload::CorpusProgram> programs = workload::corpus();
+    for (const workload::CorpusProgram &p : workload::dispatchCorpus())
+        programs.push_back(p);
     programs.push_back(workload::fibonacciProgram());
     programs.push_back(workload::puzzle0Program());
     programs.push_back(workload::puzzle1Program());

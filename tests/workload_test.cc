@@ -55,6 +55,42 @@ TEST(Corpus, AllProgramsRunIdenticallyUnderBothLayouts)
     }
 }
 
+TEST(Corpus, DispatchProgramsRunIdenticallyUnderBothLayouts)
+{
+    ASSERT_GE(dispatchCorpus().size(), 3u);
+    for (const CorpusProgram &program : dispatchCorpus()) {
+        std::string word = runOn(program, plc::Layout::WORD_ALLOCATED);
+        std::string byte = runOn(program, plc::Layout::BYTE_ALLOCATED);
+        EXPECT_EQ(word, byte) << program.name;
+        EXPECT_FALSE(word.empty()) << program.name;
+        if (program.expected_output[0] != '\0') {
+            EXPECT_EQ(word, program.expected_output) << program.name;
+        }
+    }
+}
+
+TEST(Corpus, DispatchProgramsUseJumpTables)
+{
+    // Each dispatch program must actually contain a jtab dispatch, and
+    // must lower without one when tables are disabled — with the same
+    // console output either way.
+    for (const CorpusProgram &program : dispatchCorpus()) {
+        auto with = plc::compile(program.source);
+        ASSERT_TRUE(with.ok()) << program.name;
+        EXPECT_NE(with.value().asm_text.find("jtab"),
+                  std::string::npos)
+            << program.name << " should dispatch through a jump table";
+
+        plc::CompileOptions copts;
+        copts.jump_tables = false;
+        auto without = plc::compile(program.source, copts);
+        ASSERT_TRUE(without.ok()) << program.name;
+        EXPECT_EQ(without.value().asm_text.find("jtab"),
+                  std::string::npos)
+            << program.name << " must honour jump_tables=false";
+    }
+}
+
 TEST(Corpus, FibonacciIs987)
 {
     EXPECT_EQ(runOn(fibonacciProgram(), plc::Layout::WORD_ALLOCATED),
