@@ -28,6 +28,12 @@
 #                                              skips the tidy step with a
 #                                              notice when clang-tidy is
 #                                              not installed
+#   scripts/check.sh nightly [build-dir]       the full default check, then
+#                                              a 500-program differential
+#                                              fuzz sweep on all cores and
+#                                              a ThreadSanitizer fuzz pass
+#                                              (--jobs 0) in ./build-tsan
+#                                              (see docs/FUZZING.md)
 #
 # The --bench-only mode is what the `check_bench_json` CTest target
 # runs: the full mode invokes ctest itself and must not recurse.
@@ -58,6 +64,52 @@ run_tv_gate() {
         echo "check.sh: tv gate clean (${config:-full reorganizer})"
     done
 }
+
+# Differential-fuzz smoke gate (docs/FUZZING.md): a pinned-seed batch
+# must come back with zero mismatches and zero front-end errors, two
+# same-seed runs must be byte-identical (the seed-reproducibility
+# contract), and every checked-in counterexample under
+# tests/data/fuzz-regressions/ must still replay clean — a replay
+# failure means a real bug with the shape of a previously-found one.
+run_fuzz_gate() {
+    local build_dir=$1
+    local mv=$build_dir/src/verify/mipsverify
+    "$mv" --fuzz 25 --seed 1982 --quiet
+    "$mv" --fuzz 25 --seed 1982 > "$build_dir/fuzz-a.out"
+    "$mv" --fuzz 25 --seed 1982 > "$build_dir/fuzz-b.out"
+    cmp "$build_dir/fuzz-a.out" "$build_dir/fuzz-b.out"
+    echo "check.sh: fuzz smoke clean (25 programs, byte-identical)"
+    local repro repro_n=0
+    for repro in "$repo_root"/tests/data/fuzz-regressions/fuzz-repro-*; do
+        if ! "$mv" --fuzz-file "$repro" --quiet; then
+            echo "check.sh: FUZZ REGRESSION: $repro no longer replays" \
+                "clean — a previously-found counterexample shape has" \
+                "resurfaced (docs/FUZZING.md)" >&2
+            exit 1
+        fi
+        repro_n=$((repro_n + 1))
+    done
+    echo "check.sh: fuzz regressions replay clean ($repro_n reproducers)"
+}
+
+if [ "${1:-}" = "nightly" ]; then
+    shift
+    build_dir=${1:-"$repo_root/build"}
+    # The nightly sweep is the default check first — no point fuzzing
+    # at scale on a build that fails tier 1.
+    "$repo_root/scripts/check.sh" "$build_dir"
+    "$build_dir/src/verify/mipsverify" --fuzz 500 --seed 1982 \
+        --jobs 0 --quiet --stats=json > "$build_dir/fuzz-nightly.json"
+    echo "check.sh: nightly fuzz sweep clean (500 programs)"
+    tsan_dir=$repo_root/build-tsan
+    cmake -S "$repo_root" -B "$tsan_dir" -DMIPS82_TSAN=ON
+    cmake --build "$tsan_dir" -j "$(nproc)" --target mipsverify
+    "$tsan_dir/src/verify/mipsverify" --fuzz 100 --seed 1982 \
+        --jobs 0 --quiet
+    echo "check.sh: nightly tsan fuzz pass clean (100 programs)"
+    echo "check.sh: nightly green"
+    exit 0
+fi
 
 if [ "${1:-}" = "tv" ]; then
     shift
@@ -302,6 +354,9 @@ EOF
         oracle_n=$((oracle_n + 1))
     done
     echo "check.sh: range-oracle gate clean ($oracle_n programs)"
+
+    # Differential-fuzz smoke gate + regression replay (docs/FUZZING.md).
+    run_fuzz_gate "$build_dir"
 
     # Observability gate: a parallel corpus run with --stats=json must
     # emit a parseable, self-consistent registry snapshot (per stage,

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Docs-drift gate for the CLI surface: every flag `mipsverify --help`
+# advertises must appear in a docs/CLI.md flag table, and every flag
+# documented there must still exist in the help text — in both
+# directions, by exact name.
+#
+# Usage: scripts/check_cli_docs.sh <mipsverify-binary> [CLI.md]
+#
+# Advertised flags are every `--name` token in the usage text
+# (decorations like `[=json]` and operands like `FILE` fall away).
+# Documented flags are the `--name` tokens in the *first column* of
+# the CLI.md tables:
+#
+#   | `--jobs N` / `--jobs=N` | verify corpus units on N threads ... |
+#
+# Prose mentions of flags deliberately don't count — a flag must have
+# its own table row to be "documented". The `check_cli_docs` ctest
+# gate runs this after every build, same as check_metrics_docs.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <mipsverify-binary> [CLI.md]" >&2
+    exit 2
+fi
+mipsverify=$1
+docs=${2:-"$(cd "$(dirname "$0")/.." && pwd)/docs/CLI.md"}
+
+if [ ! -x "$mipsverify" ]; then
+    echo "check_cli_docs: $mipsverify is not executable" >&2
+    exit 2
+fi
+if [ ! -f "$docs" ]; then
+    echo "check_cli_docs: $docs not found" >&2
+    exit 2
+fi
+
+advertised=$("$mipsverify" --help | grep -o -- '--[a-z][a-z-]*' |
+    sort -u)
+documented=$(sed -n 's/^| *\([^|]*\)|.*/\1/p' "$docs" |
+    grep -o -- '--[a-z][a-z-]*' | sort -u)
+
+status=0
+
+undocumented=$(comm -23 <(echo "$advertised") <(echo "$documented"))
+if [ -n "$undocumented" ]; then
+    echo "check_cli_docs: in --help but not in $docs flag tables:" >&2
+    echo "$undocumented" | sed 's/^/  /' >&2
+    status=1
+fi
+
+stale=$(comm -13 <(echo "$advertised") <(echo "$documented"))
+if [ -n "$stale" ]; then
+    echo "check_cli_docs: documented in $docs but not in --help:" >&2
+    echo "$stale" | sed 's/^/  /' >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    count=$(echo "$advertised" | wc -l)
+    echo "check_cli_docs: $count flags documented, no drift"
+fi
+exit $status

@@ -1,0 +1,556 @@
+#include "fuzz/generator.h"
+
+#include "obs/catalog.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace mips::fuzz {
+
+using support::Rng;
+using support::strprintf;
+
+namespace {
+
+// ------------------------------------------------------ Pascal side
+
+/** Scalar variables an expression may read. Loop variables are
+ *  included: plc's `for` lowering leaves them with a deterministic
+ *  final value, identical under every layout and lowering config. */
+constexpr const char *kReadVars[] = {"a", "b", "c", "d", "e",
+                                     "t", "i", "j", "k"};
+
+/** Scalar variables a generated statement may assign. Loop variables
+ *  and the fuel counter are excluded so chunks cannot clobber an
+ *  enclosing loop's control variable. */
+constexpr const char *kWriteVars[] = {"a", "b", "c", "d", "e", "t"};
+
+const char *
+readVar(Rng &rng)
+{
+    return kReadVars[rng.below(std::size(kReadVars))];
+}
+
+const char *
+writeVar(Rng &rng)
+{
+    return kWriteVars[rng.below(std::size(kWriteVars))];
+}
+
+/**
+ * A random integer expression. Every binary operation is fully
+ * parenthesized (mini-Pascal shares real Pascal's operator
+ * precedence, where `and` binds tighter than `<`), and `div`/`mod`
+ * only ever see positive constant divisors, so no generated program
+ * can divide by zero.
+ */
+std::string
+genExpr(Rng &rng, int depth)
+{
+    if (depth <= 0 || rng.chance(0.35)) {
+        if (rng.chance(0.5))
+            return readVar(rng);
+        return strprintf("%lld", static_cast<long long>(rng.range(0, 99)));
+    }
+    switch (rng.below(5)) {
+    case 0:
+        return strprintf("(%s + %s)", genExpr(rng, depth - 1).c_str(),
+                         genExpr(rng, depth - 1).c_str());
+    case 1:
+        return strprintf("(%s - %s)", genExpr(rng, depth - 1).c_str(),
+                         genExpr(rng, depth - 1).c_str());
+    case 2:
+        return strprintf("(%s * %s)", genExpr(rng, depth - 1).c_str(),
+                         genExpr(rng, depth - 1).c_str());
+    case 3:
+        return strprintf("(%s div %lld)", genExpr(rng, depth - 1).c_str(),
+                         static_cast<long long>(rng.range(2, 9)));
+    default:
+        return strprintf("(%s mod %lld)", genExpr(rng, depth - 1).c_str(),
+                         static_cast<long long>(rng.range(2, 19)));
+    }
+}
+
+/** An expression guaranteed to land in [8, 15]: `x mod 8` is in
+ *  [-7, 7] for any x (Pascal `mod` truncates toward zero), so adding
+ *  8 keeps every generated array index in bounds — the same masking
+ *  idiom the integration-test generator uses. */
+std::string
+genIndex(Rng &rng)
+{
+    return strprintf("(%s) mod 8 + 8", genExpr(rng, 1).c_str());
+}
+
+/** A character expression in ['B'(66), 'Z'(90)]: `x mod 13` is in
+ *  [-12, 12], biased by 78. */
+std::string
+genCharExpr(Rng &rng)
+{
+    return strprintf("chr((%s) mod 13 + 78)", genExpr(rng, 1).c_str());
+}
+
+/** A boolean condition; each relation individually parenthesized. */
+std::string
+genCond(Rng &rng, int depth)
+{
+    static constexpr const char *kRels[] = {"=",  "<>", "<",
+                                            "<=", ">",  ">="};
+    std::string rel = strprintf("(%s %s %s)", genExpr(rng, 1).c_str(),
+                                kRels[rng.below(std::size(kRels))],
+                                genExpr(rng, 1).c_str());
+    if (depth > 0 && rng.chance(0.3))
+        return strprintf("%s %s %s", rel.c_str(),
+                         rng.chance(0.5) ? "and" : "or",
+                         genCond(rng, depth - 1).c_str());
+    return rel;
+}
+
+/** One simple (non-compound) statement, no trailing separator. */
+std::string
+genSimpleStmt(Rng &rng)
+{
+    switch (rng.below(6)) {
+    case 0:
+        return strprintf("%s := %s", writeVar(rng),
+                         genExpr(rng, 2).c_str());
+    case 1:
+        return strprintf("buf[%s] := %s", genIndex(rng).c_str(),
+                         genExpr(rng, 2).c_str());
+    case 2:
+        return strprintf("txt[%s] := %s", genIndex(rng).c_str(),
+                         genCharExpr(rng).c_str());
+    case 3:
+        return strprintf("ptx[%s] := %s", genIndex(rng).c_str(),
+                         genCharExpr(rng).c_str());
+    case 4:
+        return strprintf("t := t + f1(%s)", genExpr(rng, 1).c_str());
+    default:
+        return strprintf("p1(%s)", genExpr(rng, 1).c_str());
+    }
+}
+
+std::string genStmt(Rng &rng, int depth, int loop_depth,
+                    const std::string &indent, const GenOptions &options);
+
+/** A `begin ... end` body of 1-3 statements. */
+std::string
+genBody(Rng &rng, int depth, int loop_depth, const std::string &indent,
+        const GenOptions &options)
+{
+    std::string body = "begin\n";
+    uint64_t n = 1 + rng.below(3);
+    for (uint64_t s = 0; s < n; ++s)
+        body += genStmt(rng, depth, loop_depth, indent + "  ", options);
+    body += indent + "end";
+    return body;
+}
+
+/**
+ * One statement (possibly compound), indented, ';'-terminated, with a
+ * trailing newline. `depth` bounds nesting; `loop_depth` selects the
+ * control variable for `for` loops (i, then j, then k).
+ */
+std::string
+genStmt(Rng &rng, int depth, int loop_depth, const std::string &indent,
+        const GenOptions &options)
+{
+    if (depth <= 0 || loop_depth >= 3 || rng.chance(0.4))
+        return indent + genSimpleStmt(rng) + ";\n";
+    static constexpr const char *kLoopVars[] = {"i", "j", "k"};
+    switch (rng.below(3)) {
+    case 0: { // if / if-else
+        std::string s = indent +
+            strprintf("if %s then %s", genCond(rng, 1).c_str(),
+                      genBody(rng, depth - 1, loop_depth, indent,
+                              options).c_str());
+        if (rng.chance(0.5))
+            s += strprintf(" else %s",
+                           genBody(rng, depth - 1, loop_depth, indent,
+                                   options).c_str());
+        return s + ";\n";
+    }
+    case 1: // constant-trip for loop
+        return indent +
+            strprintf("for %s := 0 to %lld do %s;\n",
+                      kLoopVars[loop_depth],
+                      static_cast<long long>(rng.range(2, 11)),
+                      genBody(rng, depth - 1, loop_depth + 1, indent,
+                              options).c_str());
+    default: { // dense or sparse case over a bounded selector
+        bool dense = rng.chance(0.6);
+        // Dense: >= 4 consecutive labels, so plc's jump-table
+        // lowering fires (count >= 4, span <= 2*count). Sparse:
+        // 4 labels spanning > 2*count, forcing the compare chain.
+        long long arm_count = dense ? rng.range(4, 8) : 4;
+        long long span = dense ? arm_count : rng.range(9, 20);
+        std::string s = indent +
+            strprintf("case (%s) mod %lld of\n",
+                      genExpr(rng, 2).c_str(), span);
+        for (long long arm = 0; arm < arm_count; ++arm) {
+            long long label = dense
+                                  ? arm
+                                  : (arm < 3 ? arm : span - 1);
+            s += indent +
+                strprintf("  %lld: %s%s\n", label,
+                          genSimpleStmt(rng).c_str(),
+                          arm + 1 < arm_count ? ";" : "");
+        }
+        if (rng.chance(0.7))
+            s += indent + "else\n" + indent + "  " + genSimpleStmt(rng) +
+                 "\n";
+        return s + indent + "end;\n";
+    }
+    }
+}
+
+/** One top-level chunk: a statement group the minimizer may drop. */
+std::string
+genPascalChunk(Rng &rng, const GenOptions &options)
+{
+    switch (rng.below(4)) {
+    case 0: { // fuel-bounded while loop
+        std::string s = strprintf("  fuel := %lld;\n",
+                                  static_cast<long long>(rng.range(3, 10)));
+        s += strprintf("  while (fuel > 0) and %s do begin\n",
+                       genCond(rng, 0).c_str());
+        s += genStmt(rng, options.max_depth - 1, 0, "    ", options);
+        s += "    fuel := fuel - 1;\n  end;\n";
+        return s;
+    }
+    case 1: { // fuel-bounded repeat loop
+        std::string s = strprintf("  fuel := %lld;\n",
+                                  static_cast<long long>(rng.range(2, 8)));
+        s += "  repeat\n";
+        s += genStmt(rng, options.max_depth - 1, 0, "    ", options);
+        s += "    fuel := fuel - 1;\n  until fuel <= 0;\n";
+        return s;
+    }
+    case 2: // observable progress: print as we go
+        return strprintf("  writeint((%s) mod 997); writechar(' ');\n",
+                         genExpr(rng, 2).c_str());
+    default:
+        return genStmt(rng, options.max_depth, 0, "  ", options);
+    }
+}
+
+} // namespace
+
+GeneratedProgram
+generatePascal(uint64_t seed, const GenOptions &options)
+{
+    obs::fuzzMetrics().pascal_programs->add();
+    Rng rng(seed);
+    GeneratedProgram p;
+    p.kind = ProgramKind::PASCAL;
+    p.seed = seed;
+    p.name = strprintf("fuzz-p-%016llx",
+                       static_cast<unsigned long long>(seed));
+
+    std::string pro =
+        strprintf("program fuzzp%llu;\n",
+                  static_cast<unsigned long long>(seed & 0xffff));
+    pro += "var a, b, c, d, e, t, fuel: integer;\n"
+           "    i, j, k: integer;\n"
+           "    buf: array [0..15] of integer;\n"
+           "    txt: array [0..15] of char;\n"
+           "    ptx: packed array [0..15] of char;\n";
+    pro += strprintf("function f1(x: integer): integer;\n"
+                     "var z: integer;\n"
+                     "begin\n"
+                     "  z := (x * %lld + %lld) mod 97;\n"
+                     "  if z < 0 then z := 0 - z;\n"
+                     "  f1 := z;\n"
+                     "end;\n",
+                     static_cast<long long>(rng.range(2, 9)),
+                     static_cast<long long>(rng.range(1, 31)));
+    pro += strprintf("procedure p1(v: integer);\n"
+                     "begin\n"
+                     "  if v > %lld then t := t + (v mod 13)\n"
+                     "  else t := t - (v mod 7);\n"
+                     "end;\n",
+                     static_cast<long long>(rng.range(0, 40)));
+    pro += "begin\n";
+    pro += strprintf("  a := %lld; b := %lld; c := %lld; d := %lld; "
+                     "e := %lld;\n",
+                     static_cast<long long>(rng.range(0, 99)),
+                     static_cast<long long>(rng.range(0, 99)),
+                     static_cast<long long>(rng.range(0, 99)),
+                     static_cast<long long>(rng.range(0, 99)),
+                     static_cast<long long>(rng.range(0, 99)));
+    pro += "  t := 0; fuel := 0; j := 0; k := 0;\n";
+    pro += strprintf("  for i := 0 to 15 do begin\n"
+                     "    buf[i] := (i * %lld) mod 100;\n"
+                     "    txt[i] := chr(i mod 13 + 78);\n"
+                     "    ptx[i] := chr(i mod 13 + 65);\n"
+                     "  end;\n",
+                     static_cast<long long>(rng.range(3, 17)));
+    p.prologue = pro;
+
+    long long chunks =
+        rng.range(options.min_chunks, options.max_chunks);
+    for (long long id = 0; id < chunks; ++id)
+        p.chunks.push_back(genPascalChunk(rng, options));
+
+    p.epilogue =
+        "  t := t + f1(a);\n"
+        "  p1(b);\n"
+        "  for i := 0 to 15 do "
+        "t := t + buf[i] + ord(txt[i]) + ord(ptx[i]);\n"
+        "  writeint(a); writechar(' ');\n"
+        "  writeint(b); writechar(' ');\n"
+        "  writeint(c); writechar(' ');\n"
+        "  writeint(d); writechar(' ');\n"
+        "  writeint(e); writechar(' ');\n"
+        "  writeint(t);\n"
+        "end.\n";
+    return p;
+}
+
+// ---------------------------------------------------- Assembly side
+
+namespace {
+
+/**
+ * Where assembly chunks park their results. Each chunk owns two word
+ * slots at kResultBase + 2*id; the differential driver compares the
+ * whole block across configurations after the run. Well below the
+ * MMIO page (0x000ff000) and within the default physical memory.
+ */
+constexpr unsigned kResultBase = 0x20000;
+
+/** `st <reg>, @0x...` to one of the chunk's two result slots. */
+std::string
+storeResult(Rng &rng, long long id, const char *reg)
+{
+    return strprintf("  st %s, @0x%x\n", reg,
+                     kResultBase + 2 * static_cast<unsigned>(id) +
+                         static_cast<unsigned>(rng.below(2)));
+}
+
+/**
+ * A three-operand ALU op. The register rhs (when chosen) comes from
+ * `pool` — registers the chunk has already initialized. Reading any
+ * other register would be read of a value the reorganizer is allowed
+ * to treat as dead across configurations (scheme-3 hoisting clobbers
+ * dead registers), which would make a differential "mismatch" out of
+ * perfectly correct code.
+ */
+std::string
+aluOp(Rng &rng, const char *src, const char *dst,
+      const std::vector<const char *> &pool)
+{
+    static constexpr const char *kOps[] = {"add", "sub", "and",
+                                           "or",  "xor", "rsub"};
+    static constexpr const char *kShifts[] = {"sll", "srl", "sra"};
+    if (rng.chance(0.25))
+        return strprintf("  %s %s, #%llu, %s\n",
+                         kShifts[rng.below(std::size(kShifts))], src,
+                         static_cast<unsigned long long>(rng.range(1, 4)),
+                         dst);
+    const char *op = kOps[rng.below(std::size(kOps))];
+    if (pool.empty() || rng.chance(0.5))
+        return strprintf("  %s %s, #%llu, %s\n", op, src,
+                         static_cast<unsigned long long>(rng.below(16)),
+                         dst);
+    return strprintf("  %s %s, %s, %s\n", op, src,
+                     pool[rng.below(pool.size())], dst);
+}
+
+/**
+ * One assembly chunk. Chunks are self-contained: every register read
+ * is initialized inside the chunk, labels are namespaced by chunk id,
+ * and inline data is jumped over — so the minimizer can drop any
+ * subset and the rest still assembles and halts. The text is *legal
+ * code* (sequential semantics); the reorganizer schedules it for the
+ * pipeline per configuration.
+ */
+std::string
+genAsmChunk(Rng &rng, long long id)
+{
+    switch (rng.below(6)) {
+    case 0: { // straight-line ALU mix
+        std::string s;
+        s += strprintf("  li #%llu, r1\n",
+                       static_cast<unsigned long long>(rng.below(200)));
+        s += strprintf("  li #%llu, r2\n",
+                       static_cast<unsigned long long>(rng.below(200)));
+        s += "  mov r1, r3\n";
+        long long n = rng.range(3, 7);
+        for (long long op = 0; op < n; ++op)
+            s += aluOp(rng, rng.chance(0.5) ? "r1" : "r3", "r3",
+                       {"r1", "r2", "r3"});
+        s += storeResult(rng, id, "r3");
+        return s;
+    }
+    case 1: { // inline data words, loads, and a combine
+        std::string s = strprintf("  bra f%lldgo\n", id);
+        s += strprintf("f%lldd0: .word %llu\n", id,
+                       static_cast<unsigned long long>(rng.below(100000)));
+        s += strprintf("  .word %llu\n",
+                       static_cast<unsigned long long>(rng.below(100000)));
+        s += strprintf("f%lldgo:\n", id);
+        s += strprintf("  la f%lldd0, r7\n", id);
+        s += "  ld 0(r7), r2\n";
+        s += "  ld 1(r7), r3\n";
+        s += aluOp(rng, "r2", "r4", {"r2", "r3"});
+        s += "  add r4, r3, r4\n";
+        s += storeResult(rng, id, "r4");
+        return s;
+    }
+    case 2: { // compare-and-branch skip (delay-slot shapes)
+        static constexpr const char *kConds[] = {"eq", "ne", "lt",
+                                                 "le", "gt", "ge"};
+        std::string s;
+        s += strprintf("  li #%llu, r1\n",
+                       static_cast<unsigned long long>(rng.below(50)));
+        s += strprintf("  li #%llu, r2\n",
+                       static_cast<unsigned long long>(rng.below(50)));
+        s += strprintf("  b%s r1, r2, f%lldskip\n",
+                       kConds[rng.below(std::size(kConds))], id);
+        s += aluOp(rng, "r1", "r1", {"r1", "r2"});
+        s += aluOp(rng, "r2", "r2", {"r1", "r2"});
+        s += strprintf("f%lldskip:\n", id);
+        s += "  sub r1, r2, r3\n";
+        s += storeResult(rng, id, "r3");
+        return s;
+    }
+    case 3: { // constant-trip counter loop
+        std::string s;
+        s += strprintf("  li #%llu, r5\n",
+                       static_cast<unsigned long long>(rng.range(3, 9)));
+        s += "  li #0, r6\n";
+        s += strprintf("f%lldloop:\n", id);
+        s += "  add r6, r5, r6\n";
+        s += aluOp(rng, "r6", "r6", {"r5", "r6"});
+        s += "  sub r5, #1, r5\n";
+        s += strprintf("  bgt r5, #0, f%lldloop\n", id);
+        s += storeResult(rng, id, "r6");
+        return s;
+    }
+    case 4: { // .noreorder region: explicit delay handling, packing
+        std::string s = strprintf("  bra f%lldgo\n", id);
+        s += strprintf("f%lldd0: .word %llu\n", id,
+                       static_cast<unsigned long long>(rng.below(5000)));
+        s += strprintf("  .word %llu\n",
+                       static_cast<unsigned long long>(rng.below(5000)));
+        s += strprintf("f%lldgo:\n", id);
+        s += strprintf("  la f%lldd0, r7\n", id);
+        s += strprintf("  li #%llu, r6\n",
+                       static_cast<unsigned long long>(rng.below(30)));
+        // Inside the fence both machines must agree under raw
+        // pipeline semantics: every load is followed by a nop before
+        // use, and the packed word's pieces touch disjoint registers.
+        s += "  .noreorder\n";
+        s += "  ld 0(r7), r5\n";
+        s += "  nop\n";
+        s += strprintf("  add r5, #%llu, r5\n",
+                       static_cast<unsigned long long>(rng.below(16)));
+        s += "  add r6, #1, r6 | ld 1(r7), r8\n";
+        s += "  nop\n";
+        s += "  xor r5, r8, r5\n";
+        s += "  add r5, r6, r5\n";
+        s += "  .reorder\n";
+        s += storeResult(rng, id, "r5");
+        return s;
+    }
+    default: { // jtab dispatch: inline table, four arms
+        long long index = rng.range(0, 3);
+        std::string s;
+        if (rng.chance(0.5)) {
+            s += strprintf("  li #%llu, r1\n",
+                           static_cast<unsigned long long>(rng.below(200)));
+            s += "  and r1, #3, r3\n"; // masked computed index
+        } else {
+            s += strprintf("  li #%lld, r3\n", index);
+        }
+        s += strprintf("  la f%lldtab, r2\n", id);
+        s += strprintf("  jtab (r2+r3), f%lldtab\n", id);
+        s += strprintf("f%lldtab:\n", id);
+        for (long long arm = 0; arm < 4; ++arm)
+            s += strprintf("  .word f%lldc%lld\n", id, arm);
+        for (long long arm = 0; arm < 4; ++arm) {
+            s += strprintf("f%lldc%lld:\n", id, arm);
+            s += strprintf("  li #%llu, r4\n",
+                           static_cast<unsigned long long>(rng.below(250)));
+            if (arm < 3)
+                s += strprintf("  bra f%lldout\n", id);
+        }
+        s += strprintf("f%lldout:\n", id);
+        s += aluOp(rng, "r4", "r4", {"r3", "r4"});
+        s += storeResult(rng, id, "r4");
+        return s;
+    }
+    }
+}
+
+} // namespace
+
+GeneratedProgram
+generateAsm(uint64_t seed, const GenOptions &options)
+{
+    obs::fuzzMetrics().asm_programs->add();
+    Rng rng(seed);
+    GeneratedProgram p;
+    p.kind = ProgramKind::ASM;
+    p.seed = seed;
+    p.name = strprintf("fuzz-a-%016llx",
+                       static_cast<unsigned long long>(seed));
+
+    p.prologue = strprintf("; %s (generated; seed %llu)\n",
+                           p.name.c_str(),
+                           static_cast<unsigned long long>(seed));
+
+    long long chunks =
+        rng.range(options.min_chunks, options.max_chunks);
+    for (long long id = 0; id < chunks; ++id) {
+        std::string chunk = genAsmChunk(rng, id);
+        // Occasionally make a chunk observable on the console too:
+        // emit one printable byte through the MMIO console register,
+        // the same ldi/st shape plc's writechar lowers to.
+        if (rng.chance(0.3)) {
+            chunk += strprintf("  li #%llu, r4\n",
+                               static_cast<unsigned long long>(
+                                   rng.range('A', 'Z')));
+            chunk += "  ldi #0xff000, r9\n";
+            chunk += "  st r4, (r9)\n";
+        }
+        p.chunks.push_back(chunk);
+    }
+
+    p.epilogue = "  halt\n";
+    return p;
+}
+
+// ----------------------------------------------------------- common
+
+std::string
+GeneratedProgram::render() const
+{
+    std::string out = prologue;
+    for (const std::string &chunk : chunks)
+        out += chunk;
+    out += epilogue;
+    return out;
+}
+
+std::vector<GeneratedProgram>
+generateBatch(uint64_t seed, size_t count, const GenOptions &options)
+{
+    // One master stream decides each program's kind and per-program
+    // seed, so the batch is a pure function of (seed, count) and
+    // program k is unaffected by how programs before it rendered.
+    Rng master(seed);
+    std::vector<GeneratedProgram> batch;
+    batch.reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+        uint64_t program_seed = master.next();
+        bool as_asm = master.uniform() < options.asm_ratio;
+        GeneratedProgram p = as_asm
+                                 ? generateAsm(program_seed, options)
+                                 : generatePascal(program_seed, options);
+        p.name = strprintf("fuzz-%03zu-%c", k, as_asm ? 'a' : 'p');
+        batch.push_back(std::move(p));
+    }
+    return batch;
+}
+
+} // namespace mips::fuzz

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded random program generator for differential fuzzing.
+ *
+ * The corpus in src/workload is eleven hand-written programs; the
+ * fuzzer scales "scenario diversity" by generating programs from a
+ * seed instead. Two kinds come out of the same `support::Rng` stream:
+ *
+ *  - **Pascal** programs drive the whole front end (plc): nested
+ *    control flow, array traffic under every layout, calls through
+ *    generated routines, and dense `case` statements sized to cross
+ *    the jump-table lowering threshold (DESIGN.md §14).
+ *  - **Assembly** units drive the reorganizer and verifiers directly
+ *    with shapes the compiler rarely emits: `.noreorder` regions,
+ *    hand-packed pieces, tight branch ladders, counter loops, and raw
+ *    `jtab` dispatch blocks with inline `.word` tables.
+ *
+ * Determinism contract (tested): the same seed and the same binary
+ * produce byte-identical source text. The generator draws only from
+ * `support::Rng` (xorshift64*, platform-pinned) and never consults
+ * time, addresses, or locale.
+ *
+ * Every program is a prologue + independent *chunks* + an epilogue.
+ * Chunks are self-contained (they initialize what they read and only
+ * write chunk-owned result slots), so the minimizer (minimize.h) can
+ * drop any subset and the rest still compiles, assembles, and halts.
+ * Generated programs terminate by construction: loops either have
+ * constant trip counts or decrement a fuel counter.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mips::fuzz {
+
+/** Which front door the program goes in through. */
+enum class ProgramKind
+{
+    PASCAL, ///< mini-Pascal source, compiled by plc
+    ASM,    ///< assembly text, assembled and reorganized directly
+};
+
+/** Generator knobs. Defaults match the CLI and the smoke gates. */
+struct GenOptions
+{
+    /** Fraction of a batch generated as raw assembly units. */
+    double asm_ratio = 0.4;
+    /** Top-level statement chunks per Pascal program. */
+    int min_chunks = 4;
+    int max_chunks = 10;
+    /** Statement-nesting depth bound inside a chunk. */
+    int max_depth = 2;
+};
+
+/**
+ * One generated program, kept in chunk form so the minimizer can
+ * remove chunks without re-parsing the rendered text.
+ */
+struct GeneratedProgram
+{
+    std::string name; ///< e.g. "fuzz-p-000042" / "fuzz-a-000017"
+    ProgramKind kind = ProgramKind::PASCAL;
+    uint64_t seed = 0; ///< per-program seed (derived from batch seed)
+    std::string prologue;
+    std::vector<std::string> chunks; ///< independently droppable
+    std::string epilogue;
+
+    /** The complete source text: prologue + chunks + epilogue. */
+    std::string render() const;
+};
+
+/** Generate one Pascal program from a per-program seed. */
+GeneratedProgram generatePascal(uint64_t seed,
+                                const GenOptions &options = GenOptions{});
+
+/** Generate one assembly unit from a per-program seed. */
+GeneratedProgram generateAsm(uint64_t seed,
+                             const GenOptions &options = GenOptions{});
+
+/**
+ * Generate a batch of `count` programs from a batch seed. The batch
+ * is deterministic as a whole: program kinds, per-program seeds, and
+ * names all derive from `seed` alone.
+ */
+std::vector<GeneratedProgram>
+generateBatch(uint64_t seed, size_t count,
+              const GenOptions &options = GenOptions{});
+
+} // namespace mips::fuzz

@@ -1,0 +1,69 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "obs/catalog.h"
+
+namespace mips::fuzz {
+
+namespace {
+
+/** `program` minus chunks [start, start+count). */
+GeneratedProgram
+without(const GeneratedProgram &program, size_t start, size_t count)
+{
+    GeneratedProgram candidate = program;
+    candidate.chunks.erase(candidate.chunks.begin() +
+                               static_cast<ptrdiff_t>(start),
+                           candidate.chunks.begin() +
+                               static_cast<ptrdiff_t>(start + count));
+    return candidate;
+}
+
+} // namespace
+
+MinimizeOutcome
+minimizeProgram(const GeneratedProgram &program,
+                const std::function<bool(const GeneratedProgram &)>
+                    &still_fails)
+{
+    MinimizeOutcome outcome;
+    outcome.program = program;
+
+    ++outcome.steps;
+    obs::fuzzMetrics().minimize_steps->add();
+    if (!still_fails(outcome.program))
+        return outcome; // not reproducible; nothing to shrink
+
+    // ddmin-style greedy descent: remove the biggest window that
+    // still fails, halving the window size until single chunks, and
+    // restart from the top after any successful removal (a deletion
+    // can unlock earlier windows).
+    bool shrunk = true;
+    while (shrunk && outcome.program.chunks.size() > 1) {
+        shrunk = false;
+        for (size_t window =
+                 std::max<size_t>(1, outcome.program.chunks.size() / 2);
+             window >= 1 && !shrunk; window /= 2) {
+            for (size_t start = 0;
+                 start + window <= outcome.program.chunks.size();
+                 ++start) {
+                GeneratedProgram candidate =
+                    without(outcome.program, start, window);
+                ++outcome.steps;
+                obs::fuzzMetrics().minimize_steps->add();
+                if (still_fails(candidate)) {
+                    outcome.removed += window;
+                    outcome.program = std::move(candidate);
+                    shrunk = true;
+                    break;
+                }
+            }
+            if (window == 1)
+                break;
+        }
+    }
+    return outcome;
+}
+
+} // namespace mips::fuzz

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Greedy chunk-level minimizer for differential counterexamples.
+ *
+ * When the differ finds a mismatch, the raw program is rarely the
+ * story — most of its chunks are bystanders. The minimizer shrinks a
+ * GeneratedProgram by deleting chunks while a caller-supplied
+ * predicate ("does this still fail the same way?") keeps returning
+ * true, ddmin-style: try removing large windows first, halve the
+ * window on failure, repeat to a fixpoint. Chunks are self-contained
+ * by generator contract, so every candidate still compiles; the
+ * predicate re-runs the full differential matrix per candidate.
+ *
+ * The result is what gets written as a reproducer file and checked
+ * into tests/data/fuzz-regressions/ (see docs/FUZZING.md for the
+ * check-in workflow).
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/generator.h"
+
+namespace mips::fuzz {
+
+/** Outcome of one minimization. */
+struct MinimizeOutcome
+{
+    GeneratedProgram program; ///< smallest still-failing program
+    size_t steps = 0;         ///< candidate evaluations performed
+    size_t removed = 0;       ///< chunks deleted from the original
+};
+
+/**
+ * Shrink `program` while `still_fails` holds. `still_fails` must be
+ * deterministic and must return true for `program` itself (callers
+ * only minimize programs that already failed); if it does not, the
+ * input is returned unchanged.
+ */
+MinimizeOutcome
+minimizeProgram(const GeneratedProgram &program,
+                const std::function<bool(const GeneratedProgram &)>
+                    &still_fails);
+
+} // namespace mips::fuzz

@@ -334,6 +334,52 @@ tvMetrics()
     return m;
 }
 
+FuzzMetrics &
+fuzzMetrics()
+{
+    static FuzzMetrics m = [] {
+        Registry &r = Registry::instance();
+        FuzzMetrics f;
+        f.programs = &r.counter(
+            "fuzz.programs", "count",
+            "generated programs run through the differential driver");
+        f.pascal_programs =
+            &r.counter("fuzz.pascal_programs", "count",
+                       "Pascal programs generated");
+        f.asm_programs = &r.counter("fuzz.asm_programs", "count",
+                                    "assembly units generated");
+        f.mismatches = &r.counter(
+            "fuzz.mismatches", "count",
+            "programs on which any oracle or config disagreed");
+        f.minimize_steps = &r.counter(
+            "fuzz.minimize_steps", "count",
+            "candidate programs evaluated by the minimizer");
+        f.repro_writes = &r.counter(
+            "fuzz.repro_writes", "count",
+            "minimized reproducer files written to disk");
+        return f;
+    }();
+    return m;
+}
+
+FuzzChainMetrics &
+fuzzChainMetrics()
+{
+    static FuzzChainMetrics m = [] {
+        Registry &r = Registry::instance();
+        FuzzChainMetrics f;
+        f.chains = &r.counter(
+            "pipeline.fuzz.chains", "count",
+            "per-configuration oracle chains started by the "
+            "differential fuzzer");
+        f.oracle_failures = &r.counter(
+            "pipeline.fuzz.oracle_failures", "count",
+            "fuzz chains that failed an oracle layer");
+        return f;
+    }();
+    return m;
+}
+
 void
 registerBuiltinMetrics()
 {
@@ -348,6 +394,8 @@ registerBuiltinMetrics()
     costMetrics();
     rangeMetrics();
     tvMetrics();
+    fuzzMetrics();
+    fuzzChainMetrics();
 }
 
 } // namespace mips::obs

@@ -177,6 +177,31 @@ struct TvMetrics
 };
 TvMetrics &tvMetrics();
 
+// -------------------------------------------------------------- fuzz
+
+/** Handles for `fuzz.*` (the differential program fuzzer, src/fuzz).
+ *  Program counts come from the generator and driver; minimizer
+ *  counters from shrinking runs (`--fuzz-minimize`). */
+struct FuzzMetrics
+{
+    Counter *programs;        ///< programs run through the differ
+    Counter *pascal_programs; ///< Pascal programs generated
+    Counter *asm_programs;    ///< assembly units generated
+    Counter *mismatches;      ///< differential oracle disagreements
+    Counter *minimize_steps;  ///< minimizer candidate evaluations
+    Counter *repro_writes;    ///< reproducer files written
+};
+FuzzMetrics &fuzzMetrics();
+
+/** Handles for `pipeline.fuzz.*` (the per-configuration oracle
+ *  chains the differential driver runs through a Session). */
+struct FuzzChainMetrics
+{
+    Counter *chains;          ///< (program, config) chains started
+    Counter *oracle_failures; ///< chains failing any oracle layer
+};
+FuzzChainMetrics &fuzzChainMetrics();
+
 /**
  * Force-register every metric above (idempotent). Call before
  * snapshotting in contexts that must see the full surface —

@@ -685,6 +685,19 @@ sharedSession()
 
 // --------------------------------------------------- batched chains
 
+ChainSpec
+fuzzOracleChain()
+{
+    ChainSpec spec;
+    spec.reorganize = true;
+    spec.hazard_verify = true;
+    spec.translation_validate = true;
+    spec.simulate = true;
+    spec.cost_model = true;
+    spec.value_range = true;
+    return spec;
+}
+
 std::vector<ChainResult>
 runAll(Session &session,
        const std::vector<workload::CorpusProgram> &corpus,

@@ -368,6 +368,14 @@ struct ChainResult
 };
 
 /**
+ * The chain the differential fuzzer (src/fuzz) runs per matrix
+ * configuration: every trust layer at once — hazard verify, strict
+ * TV, simulation, cost parity, and value range. Callers may switch
+ * individual oracles off afterwards (`DiffOptions`).
+ */
+ChainSpec fuzzOracleChain();
+
+/**
  * Run every corpus program through the requested stages on a
  * fixed-size thread pool (`jobs`), collecting results in input order.
  * Deterministic: the result vector is element-wise identical to a

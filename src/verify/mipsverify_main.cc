@@ -54,6 +54,17 @@
  * --list-metrics prints every registered metric name one per line
  * (the scripts/check_metrics_docs.sh drift gate consumes this).
  *
+ * Differential fuzzing (docs/FUZZING.md): --fuzz N generates N seeded
+ * random programs (mini-Pascal and raw assembly, src/fuzz) and runs
+ * each through the full configuration matrix with every trust layer
+ * as an oracle; --seed S pins the batch seed (default 1982), and the
+ * output is byte-identical across runs with the same seed.
+ * --fuzz-minimize shrinks any mismatch chunk-by-chunk and writes a
+ * reproducer file; --fuzz-file FILE replays one reproducer (kind
+ * chosen by extension: .pas = Pascal, anything else = assembly),
+ * which is how the tests/data/fuzz-regressions/ gate re-checks every
+ * counterexample ever found.
+ *
  * The corpus runs through a pipeline::Session, so repeated stages
  * share cached artifacts, and a pipeline::BatchRunner fans units
  * across the worker threads with deterministic result collection.
@@ -70,6 +81,9 @@
 #include <string>
 
 #include "asm/assembler.h"
+#include "fuzz/differ.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
 #include "obs/catalog.h"
 #include "obs/trace.h"
 #include "pipeline/batch.h"
@@ -117,6 +131,14 @@ struct CliOptions
     std::string callgraph_out; ///< empty = stdout
     double cost_tolerance = 0.02;
     unsigned jobs = 1;
+    /** --fuzz N: differential-fuzz N generated programs (0 = off). */
+    uint64_t fuzz = 0;
+    /** --seed S: batch seed for --fuzz. */
+    uint64_t fuzz_seed = 1982;
+    /** --fuzz-minimize: shrink mismatches and write reproducers. */
+    bool fuzz_minimize = false;
+    /** --fuzz-file FILE: replay one generated/minimized program. */
+    std::string fuzz_file;
     std::string trace_out;
     mips::verify::VerifyOptions verify;
     mips::reorg::ReorgOptions reorg_options;
@@ -148,6 +170,12 @@ usage(FILE *to)
                  "                  [--cost[=json]] "
                  "[--cost-tolerance F]\n"
                  "                  [--range[=json]] [--stack-budget N]\n"
+                 "       mipsverify --fuzz N [--seed S] "
+                 "[--fuzz-minimize] [--jobs N]\n"
+                 "                  [--quiet] [--stats[=json]] "
+                 "[--trace-out FILE]\n"
+                 "       mipsverify --fuzz-file FILE "
+                 "[--fuzz-minimize]\n"
                  "       mipsverify --list-metrics\n");
 }
 
@@ -535,6 +563,169 @@ runFile(const CliOptions &cli)
     return clean ? 0 : 1;
 }
 
+// ------------------------------------------------------------- fuzz
+
+/** Reproducer file name for a (possibly minimized) program. */
+std::string
+reproPath(const mips::fuzz::GeneratedProgram &program)
+{
+    using mips::support::strprintf;
+    return strprintf("fuzz-repro-%s.%s", program.name.c_str(),
+                     program.kind == mips::fuzz::ProgramKind::PASCAL
+                         ? "pas"
+                         : "s");
+}
+
+/**
+ * Write a reproducer: a comment header (name, seed, failure) in the
+ * program's own comment syntax, then the full source. Returns false
+ * on I/O failure.
+ */
+bool
+writeRepro(const mips::fuzz::GeneratedProgram &program,
+           const std::string &failure, const std::string &path)
+{
+    using mips::support::strprintf;
+    bool pascal = program.kind == mips::fuzz::ProgramKind::PASCAL;
+    std::string safe = failure;
+    for (char &c : safe)
+        if (c == '}' || c == '\n')
+            c = ' ';
+    std::string header;
+    if (pascal)
+        header = strprintf("{ fuzz reproducer %s (seed %llu)\n"
+                           "  failure: %s }\n",
+                           program.name.c_str(),
+                           static_cast<unsigned long long>(program.seed),
+                           safe.c_str());
+    else
+        header = strprintf("; fuzz reproducer %s (seed %llu)\n"
+                           "; failure: %s\n",
+                           program.name.c_str(),
+                           static_cast<unsigned long long>(program.seed),
+                           safe.c_str());
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << header << program.render();
+    out.close();
+    if (!out) // NOLINT(readability-implicit-bool-conversion)
+        return false;
+    mips::obs::fuzzMetrics().repro_writes->add();
+    return true;
+}
+
+/**
+ * Differential fuzzing: generate (or replay) programs, fan them over
+ * the BatchRunner against a shared Session, and report any config or
+ * oracle disagreement. Output carries no wall-clock fields, and the
+ * runner collects results in input order, so a run is byte-identical
+ * for a fixed (seed, N, binary) triple — the determinism contract
+ * docs/FUZZING.md documents and scripts/check.sh enforces with cmp.
+ */
+int
+runFuzz(const CliOptions &cli)
+{
+    using mips::support::strprintf;
+    namespace fuzz = mips::fuzz;
+
+    std::vector<fuzz::GeneratedProgram> programs;
+    if (!cli.fuzz_file.empty()) {
+        std::ifstream in(cli.fuzz_file);
+        if (!in) {
+            std::fprintf(stderr, "mipsverify: cannot read %s\n",
+                         cli.fuzz_file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        fuzz::GeneratedProgram p;
+        size_t slash = cli.fuzz_file.find_last_of('/');
+        p.name = slash == std::string::npos
+                     ? cli.fuzz_file
+                     : cli.fuzz_file.substr(slash + 1);
+        p.kind = p.name.size() >= 4 &&
+                         p.name.compare(p.name.size() - 4, 4, ".pas") ==
+                             0
+                     ? fuzz::ProgramKind::PASCAL
+                     : fuzz::ProgramKind::ASM;
+        // The whole file is one chunk: replay never re-minimizes a
+        // checked-in reproducer, it just re-runs the matrix.
+        p.prologue = buf.str();
+        programs.push_back(std::move(p));
+    } else {
+        programs = fuzz::generateBatch(cli.fuzz_seed, cli.fuzz);
+    }
+
+    fuzz::DiffOptions diff;
+    mips::pipeline::Session &session = mips::pipeline::sharedSession();
+    mips::pipeline::BatchRunner runner(cli.jobs);
+    std::vector<fuzz::DiffResult> results = runner.runAll(
+        programs,
+        [&session, &diff](const fuzz::GeneratedProgram &program,
+                          size_t) {
+            return fuzz::runDifferential(session, program, diff);
+        });
+
+    size_t mismatches = 0;
+    size_t front_end = 0;
+    std::string out;
+    for (const fuzz::DiffResult &r : results) {
+        if (r.ok) {
+            if (!cli.quiet)
+                out += strprintf("fuzz %s: ok (%zu configs)\n",
+                                 r.name.c_str(), r.configs);
+            continue;
+        }
+        // Failures always print, --quiet or not: a silent mismatch
+        // defeats the point of a fuzzer.
+        if (r.front_end_error) {
+            ++front_end;
+            out += strprintf("fuzz %s: FRONT-END ERROR: %s\n",
+                             r.name.c_str(), r.failure.c_str());
+        } else {
+            ++mismatches;
+            out += strprintf("fuzz %s: MISMATCH: %s\n", r.name.c_str(),
+                             r.failure.c_str());
+        }
+    }
+    std::fputs(out.c_str(), stdout);
+
+    if (cli.fuzz_minimize) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].mismatch())
+                continue;
+            auto still_fails =
+                [&session, &diff](const fuzz::GeneratedProgram &c) {
+                    return fuzz::runDifferential(session, c, diff)
+                        .mismatch();
+                };
+            fuzz::MinimizeOutcome min =
+                fuzz::minimizeProgram(programs[i], still_fails);
+            std::string path = reproPath(min.program);
+            if (!writeRepro(min.program, results[i].failure, path)) {
+                std::fprintf(stderr,
+                             "mipsverify: cannot write reproducer "
+                             "%s\n",
+                             path.c_str());
+                return 2;
+            }
+            std::printf("fuzz %s: minimized %zu -> %zu chunk(s) "
+                        "(%zu step(s)), wrote %s\n",
+                        results[i].name.c_str(), programs[i].chunks.size(),
+                        min.program.chunks.size(), min.steps,
+                        path.c_str());
+        }
+    }
+
+    if (!cli.quiet)
+        std::printf("mipsverify: fuzz: %zu program(s), %zu "
+                    "mismatch(es), %zu front-end error(s) (seed %llu)\n",
+                    results.size(), mismatches, front_end,
+                    static_cast<unsigned long long>(cli.fuzz_seed));
+    return mismatches != 0 || front_end != 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -664,6 +855,69 @@ main(int argc, char **argv)
                  mips::obs::Registry::instance().names())
                 std::printf("%s\n", name.c_str());
             return 0;
+        } else if (arg == "--fuzz" || arg.rfind("--fuzz=", 0) == 0) {
+            const char *value = nullptr;
+            if (arg == "--fuzz") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --fuzz needs a program "
+                                 "count\n");
+                    return 2;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.c_str() + 7;
+            }
+            char *end = nullptr;
+            long long n = std::strtoll(value, &end, 10);
+            if (end == value || *end != '\0' || n <= 0 ||
+                n > 1'000'000) {
+                std::fprintf(stderr,
+                             "mipsverify: bad --fuzz count '%s'\n",
+                             value);
+                return 2;
+            }
+            cli.fuzz = static_cast<uint64_t>(n);
+        } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
+            const char *value = nullptr;
+            if (arg == "--seed") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --seed needs a value\n");
+                    return 2;
+                }
+                value = argv[++i];
+            } else {
+                value = arg.c_str() + 7;
+            }
+            char *end = nullptr;
+            unsigned long long s = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0') {
+                std::fprintf(stderr, "mipsverify: bad --seed '%s'\n",
+                             value);
+                return 2;
+            }
+            cli.fuzz_seed = s;
+        } else if (arg == "--fuzz-minimize") {
+            cli.fuzz_minimize = true;
+        } else if (arg == "--fuzz-file" ||
+                   arg.rfind("--fuzz-file=", 0) == 0) {
+            if (arg == "--fuzz-file") {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr,
+                                 "mipsverify: --fuzz-file needs a "
+                                 "file\n");
+                    return 2;
+                }
+                cli.fuzz_file = argv[++i];
+            } else {
+                cli.fuzz_file = arg.substr(12);
+            }
+            if (cli.fuzz_file.empty()) {
+                std::fprintf(stderr,
+                             "mipsverify: --fuzz-file needs a file\n");
+                return 2;
+            }
         } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
             const char *value = nullptr;
             if (arg == "--jobs") {
@@ -704,6 +958,25 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    bool fuzzing = cli.fuzz != 0 || !cli.fuzz_file.empty();
+    if (fuzzing && (cli.corpus || !cli.file.empty())) {
+        std::fprintf(stderr,
+                     "mipsverify: --fuzz/--fuzz-file cannot combine "
+                     "with --corpus or a file\n");
+        return 2;
+    }
+    if (cli.fuzz != 0 && !cli.fuzz_file.empty()) {
+        std::fprintf(stderr,
+                     "mipsverify: --fuzz and --fuzz-file are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+    if (cli.fuzz_minimize && !fuzzing) {
+        std::fprintf(stderr,
+                     "mipsverify: --fuzz-minimize needs --fuzz or "
+                     "--fuzz-file\n");
+        return 2;
+    }
     if (cli.corpus && !cli.file.empty()) {
         usage(stderr);
         return 2;
@@ -718,7 +991,7 @@ main(int argc, char **argv)
                      "mipsverify: --range-oracle is single-file only\n");
         return 2;
     }
-    if (!cli.corpus && cli.file.empty()) {
+    if (!cli.corpus && !fuzzing && cli.file.empty()) {
         usage(stderr);
         return 2;
     }
@@ -726,7 +999,9 @@ main(int argc, char **argv)
     if (!cli.trace_out.empty())
         mips::obs::Tracer::instance().enable(true);
 
-    int status = cli.corpus ? runCorpus(cli) : runFile(cli);
+    int status = fuzzing      ? runFuzz(cli)
+                 : cli.corpus ? runCorpus(cli)
+                              : runFile(cli);
 
     if (cli.stats) {
         // Register the full catalog before snapshotting so the output

@@ -1,0 +1,17 @@
+; fuzz reproducer fuzz-000-a (seed 8698554949407122477)
+; failure: full: translation-validate: 0 error(s), 1 note(s) [injected: ReorgBugs.drop_branch_noop]
+; fuzz-a-78b779a3baa0a42d (generated; seed 8698554949407122477)
+  bra f4go
+f4d0: .word 2942
+  .word 45055
+f4go:
+  la f4d0, r7
+  ld 0(r7), r2
+  ld 1(r7), r3
+  sra r2, #4, r4
+  add r4, r3, r4
+  st r4, @0x20008
+  li #83, r4
+  ldi #0xff000, r9
+  st r4, (r9)
+  halt

@@ -1,0 +1,43 @@
+{ fuzz reproducer fuzz-001-p (seed 1752856235635652260)
+  failure: word+jt: hazard-verify: 15 error(s) [injected: ReorgBugs.drop_load_noop] }
+program fuzzp13988;
+var a, b, c, d, e, t, fuel: integer;
+    i, j, k: integer;
+    buf: array [0..15] of integer;
+    txt: array [0..15] of char;
+    ptx: packed array [0..15] of char;
+function f1(x: integer): integer;
+var z: integer;
+begin
+  z := (x * 2 + 26) mod 97;
+  if z < 0 then z := 0 - z;
+  f1 := z;
+end;
+procedure p1(v: integer);
+begin
+  if v > 20 then t := t + (v mod 13)
+  else t := t - (v mod 7);
+end;
+begin
+  a := 59; b := 79; c := 28; d := 49; e := 8;
+  t := 0; fuel := 0; j := 0; k := 0;
+  for i := 0 to 15 do begin
+    buf[i] := (i * 13) mod 100;
+    txt[i] := chr(i mod 13 + 78);
+    ptx[i] := chr(i mod 13 + 65);
+  end;
+  fuel := 7;
+  repeat
+    p1((84 + 83));
+    fuel := fuel - 1;
+  until fuel <= 0;
+  t := t + f1(a);
+  p1(b);
+  for i := 0 to 15 do t := t + buf[i] + ord(txt[i]) + ord(ptx[i]);
+  writeint(a); writechar(' ');
+  writeint(b); writechar(' ');
+  writeint(c); writechar(' ');
+  writeint(d); writechar(' ');
+  writeint(e); writechar(' ');
+  writeint(t);
+end.

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Fuzz subsystem tests: the generator's determinism contract (same
+ * seed => byte-identical source, different seeds => distinct), batch
+ * shape and chunk self-containment, a small-N differential run that
+ * must come back clean, oracle sensitivity to every ReorgBugs fault
+ * flag, and minimizer convergence — a planted reorganizer bug must
+ * still trip the oracle after shrinking, and the shrunk program must
+ * replay clean once the fault is removed.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.h"
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
+#include "pipeline/session.h"
+
+namespace {
+
+using namespace mips;
+
+// ---- determinism ----------------------------------------------------
+
+TEST(FuzzGenerator, SameSeedIsByteIdentical)
+{
+    for (uint64_t seed : {1ull, 1982ull, 0xdeadbeefull}) {
+        fuzz::GeneratedProgram a = fuzz::generatePascal(seed);
+        fuzz::GeneratedProgram b = fuzz::generatePascal(seed);
+        EXPECT_EQ(a.render(), b.render()) << "pascal seed " << seed;
+        fuzz::GeneratedProgram c = fuzz::generateAsm(seed);
+        fuzz::GeneratedProgram d = fuzz::generateAsm(seed);
+        EXPECT_EQ(c.render(), d.render()) << "asm seed " << seed;
+    }
+}
+
+TEST(FuzzGenerator, BatchIsDeterministicAsAWhole)
+{
+    std::vector<fuzz::GeneratedProgram> a = fuzz::generateBatch(42, 20);
+    std::vector<fuzz::GeneratedProgram> b = fuzz::generateBatch(42, 20);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        EXPECT_EQ(a[i].render(), b[i].render());
+    }
+}
+
+TEST(FuzzGenerator, DifferentSeedsProduceDistinctPrograms)
+{
+    std::set<std::string> sources;
+    for (uint64_t seed = 1; seed <= 16; ++seed)
+        sources.insert(fuzz::generatePascal(seed).render());
+    for (uint64_t seed = 1; seed <= 16; ++seed)
+        sources.insert(fuzz::generateAsm(seed).render());
+    // 16 Pascal + 16 asm seeds: every one distinct.
+    EXPECT_EQ(sources.size(), 32u);
+}
+
+TEST(FuzzGenerator, BatchMixesBothKinds)
+{
+    std::vector<fuzz::GeneratedProgram> batch =
+        fuzz::generateBatch(1982, 40);
+    size_t pascal = 0;
+    size_t assembly = 0;
+    for (const fuzz::GeneratedProgram &p : batch) {
+        if (p.kind == fuzz::ProgramKind::PASCAL)
+            ++pascal;
+        else
+            ++assembly;
+        EXPECT_FALSE(p.chunks.empty()) << p.name;
+    }
+    EXPECT_GT(pascal, 0u);
+    EXPECT_GT(assembly, 0u);
+}
+
+// ---- differential runs ---------------------------------------------
+
+TEST(FuzzDiffer, SmallBatchRunsClean)
+{
+    pipeline::Session session;
+    std::vector<fuzz::GeneratedProgram> batch =
+        fuzz::generateBatch(1982, 8);
+    for (const fuzz::GeneratedProgram &p : batch) {
+        fuzz::DiffResult r = fuzz::runDifferential(session, p);
+        EXPECT_TRUE(r.ok) << p.name << ": " << r.failure;
+        EXPECT_FALSE(r.front_end_error) << p.name;
+        EXPECT_GT(r.configs, 0u) << p.name;
+    }
+}
+
+// Chunks are self-contained by generator contract: dropping any
+// single chunk must still give a program that passes the whole
+// matrix. This is what makes minimizer candidates meaningful.
+TEST(FuzzDiffer, ChunksAreIndependentlyDroppable)
+{
+    pipeline::Session session;
+    std::vector<fuzz::GeneratedProgram> batch =
+        fuzz::generateBatch(7, 2);
+    for (const fuzz::GeneratedProgram &p : batch) {
+        for (size_t drop = 0; drop < p.chunks.size(); ++drop) {
+            fuzz::GeneratedProgram candidate = p;
+            candidate.chunks.erase(candidate.chunks.begin() +
+                                   static_cast<ptrdiff_t>(drop));
+            fuzz::DiffResult r =
+                fuzz::runDifferential(session, candidate);
+            EXPECT_TRUE(r.ok) << p.name << " minus chunk " << drop
+                              << ": " << r.failure;
+        }
+    }
+}
+
+// Every fault-injection flag must be observable: some program in a
+// small batch has to trip at least one oracle under each bug.
+TEST(FuzzDiffer, EveryInjectedBugIsCaught)
+{
+    pipeline::Session session;
+    std::vector<fuzz::GeneratedProgram> batch =
+        fuzz::generateBatch(1982, 10);
+
+    struct Case { const char *name; reorg::ReorgBugs bugs; };
+    std::vector<Case> cases;
+    auto add = [&](const char *name, auto set) {
+        Case c;
+        c.name = name;
+        set(c.bugs);
+        cases.push_back(c);
+    };
+    add("pack_dependent",
+        [](reorg::ReorgBugs &b) { b.pack_dependent = true; });
+    add("hoist_blind",
+        [](reorg::ReorgBugs &b) { b.hoist_blind = true; });
+    add("alias_blind",
+        [](reorg::ReorgBugs &b) { b.alias_blind = true; });
+    add("slot_overwritten_def",
+        [](reorg::ReorgBugs &b) { b.slot_overwritten_def = true; });
+    add("drop_load_noop",
+        [](reorg::ReorgBugs &b) { b.drop_load_noop = true; });
+    add("drop_branch_noop",
+        [](reorg::ReorgBugs &b) { b.drop_branch_noop = true; });
+    add("retarget_same_target",
+        [](reorg::ReorgBugs &b) { b.retarget_same_target = true; });
+    add("dup_skip_second",
+        [](reorg::ReorgBugs &b) { b.dup_skip_second = true; });
+
+    for (const Case &c : cases) {
+        fuzz::DiffOptions options;
+        options.bugs = c.bugs;
+        bool caught = false;
+        for (const fuzz::GeneratedProgram &p : batch) {
+            if (fuzz::runDifferential(session, p, options).mismatch()) {
+                caught = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(caught) << "bug " << c.name
+                            << " escaped every oracle";
+    }
+}
+
+// ---- minimizer ------------------------------------------------------
+
+TEST(FuzzMinimizer, ConvergesOnInjectedBugAndStillTripsOracle)
+{
+    pipeline::Session session;
+    // fuzz-001-p under drop_load_noop: hazard-verify catches it (the
+    // scheduler deleted load-delay covers), and the program shrinks
+    // to a single chunk.
+    std::vector<fuzz::GeneratedProgram> batch =
+        fuzz::generateBatch(1982, 2);
+    const fuzz::GeneratedProgram &program = batch[1];
+    ASSERT_EQ(program.kind, fuzz::ProgramKind::PASCAL);
+
+    fuzz::DiffOptions buggy;
+    buggy.bugs.drop_load_noop = true;
+    auto still_fails = [&](const fuzz::GeneratedProgram &candidate) {
+        return fuzz::runDifferential(session, candidate, buggy)
+            .mismatch();
+    };
+    ASSERT_TRUE(still_fails(program));
+
+    fuzz::MinimizeOutcome outcome =
+        fuzz::minimizeProgram(program, still_fails);
+    EXPECT_LT(outcome.program.chunks.size(), program.chunks.size());
+    EXPECT_EQ(outcome.removed,
+              program.chunks.size() - outcome.program.chunks.size());
+    EXPECT_GE(outcome.steps, 2u);
+    // The shrunk program still trips the oracle with the bug in...
+    EXPECT_TRUE(still_fails(outcome.program));
+    // ...and replays clean without it (the check-in contract for
+    // tests/data/fuzz-regressions/).
+    fuzz::DiffResult clean =
+        fuzz::runDifferential(session, outcome.program);
+    EXPECT_TRUE(clean.ok) << clean.failure;
+}
+
+TEST(FuzzMinimizer, NonFailingInputReturnsUnchanged)
+{
+    fuzz::GeneratedProgram program = fuzz::generateAsm(5);
+    fuzz::MinimizeOutcome outcome = fuzz::minimizeProgram(
+        program,
+        [](const fuzz::GeneratedProgram &) { return false; });
+    EXPECT_EQ(outcome.program.render(), program.render());
+    EXPECT_EQ(outcome.removed, 0u);
+    EXPECT_EQ(outcome.steps, 1u);
+}
+
+} // namespace
